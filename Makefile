@@ -1,0 +1,28 @@
+# Convenience targets for development and reproduction runs.
+
+.PHONY: install test bench examples all
+
+# `pip install -e .` needs the `wheel` package for PEP 517 editable
+# builds; offline environments fall back to the legacy setuptools path.
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Approach the paper's original data-set sizes (slow).
+bench-paper-scale:
+	REPRO_BENCH_SCALE=10 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/spatial_queries.py
+	python examples/persistence.py
+	python examples/cluster_analysis.py
+	python examples/image_retrieval.py
+	python examples/index_shootout.py
+
+all: install test bench

@@ -1,0 +1,79 @@
+"""Ablations: isolating the SR-tree's two region rules (beyond the paper).
+
+The SR-tree differs from the SS-tree in exactly two rules:
+
+* the Section-4.2 **radius rule** ``min(d_s, d_r)`` (vs the SS-tree's
+  ``d_s``), and
+* the Section-4.4 **MINDIST rule** ``max(sphere, rect)`` (vs a single
+  shape).
+
+Each ablation holds everything else fixed (tree shape is identical
+across rules, since routing uses centroids only) and toggles one rule,
+attributing the paper's end-to-end win to its parts.
+"""
+
+from conftest import archive
+
+from repro.bench.experiments import get_dataset, scaled
+from repro.bench.runner import run_query_batch
+from repro.indexes import SRTree
+from repro.workloads import sample_queries
+
+
+def _build(data, **rules) -> SRTree:
+    tree = SRTree(data.shape[1], **rules)
+    tree.load(data)
+    tree.stats.reset()
+    return tree
+
+
+def _reads(tree, queries) -> float:
+    return run_query_batch(tree, queries, k=21).page_reads
+
+
+def test_ablation_radius_rule(benchmark):
+    data = get_dataset(
+        "cluster", n_clusters=20, points_per_cluster=scaled(150), dims=16
+    )
+    queries = sample_queries(data, 25, seed=7)
+
+    paper = _build(data, radius_rule="min")
+    ss_radius = _build(data, radius_rule="sphere")
+    rows = [
+        ["min(d_s, d_r)  (paper)", _reads(paper, queries)],
+        ["d_s only  (SS rule)", _reads(ss_radius, queries)],
+    ]
+    archive("ablation_radius_rule",
+            "Ablation: SR-tree radius update rule (cluster data, k=21)",
+            ["radius rule", "disk_reads"], rows)
+
+    # The tightened radius can only help (same tree, smaller spheres).
+    assert rows[0][1] <= rows[1][1] * 1.02
+
+    benchmark.pedantic(lambda: _reads(paper, queries[:5]), rounds=3, iterations=1)
+
+
+def test_ablation_mindist_rule(benchmark):
+    data = get_dataset(
+        "cluster", n_clusters=20, points_per_cluster=scaled(150), dims=16
+    )
+    queries = sample_queries(data, 25, seed=7)
+
+    combined = _build(data, mindist_rule="max")
+    sphere_only = _build(data, mindist_rule="sphere")
+    rect_only = _build(data, mindist_rule="rect")
+    rows = [
+        ["max(sphere, rect)  (paper)", _reads(combined, queries)],
+        ["sphere only", _reads(sphere_only, queries)],
+        ["rect only", _reads(rect_only, queries)],
+    ]
+    archive("ablation_mindist_rule",
+            "Ablation: SR-tree search distance rule (cluster data, k=21)",
+            ["MINDIST rule", "disk_reads"], rows)
+
+    # The combined bound prunes at least as well as either single shape.
+    assert rows[0][1] <= rows[1][1] + 1e-9
+    assert rows[0][1] <= rows[2][1] + 1e-9
+
+    benchmark.pedantic(lambda: _reads(combined, queries[:5]), rounds=3,
+                       iterations=1)

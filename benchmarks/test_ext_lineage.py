@@ -1,0 +1,73 @@
+"""Extension: the index family's lineage on one workload.
+
+The paper's Section 2 walks the ancestry of the SR-tree: Guttman's
+R-tree -> the R*-tree -> the SS-tree -> the SR-tree (-> and, per the
+Section 2.6 open question, the SRX-tree).  This benchmark runs the
+whole lineage on the clustered workload, showing each generation's
+contribution to the read count — the paper's narrative as one table.
+"""
+
+from conftest import archive
+
+from repro.bench.experiments import get_dataset, scaled
+from repro.bench.runner import run_query_batch
+from repro.indexes import RStarTree, RTree, SRTree, SRXTree, SSTree
+from repro.workloads import sample_queries
+
+LINEAGE = [
+    ("rtree (Guttman 1984, quadratic)", lambda d: RTree(16)),
+    ("rtree (linear split)", lambda d: RTree(16, split="linear")),
+    ("rstar (Beckmann 1990)", lambda d: RStarTree(16)),
+    ("sstree (White & Jain 1996)", lambda d: SSTree(16)),
+    ("srtree (Katayama & Satoh 1997)", lambda d: SRTree(16)),
+    ("srx (SR + X-tree supernodes)", lambda d: SRXTree(16)),
+]
+
+
+def test_ext_lineage(benchmark):
+    # The real (histogram) workload: the paper's Figure 11 case, where
+    # the generational ordering is most stable.
+    data = get_dataset("real", size=scaled(5000), dims=16)
+    queries = sample_queries(data, 25, seed=23)
+
+    rows = []
+    reads = {}
+    for name, make in LINEAGE:
+        index = make(data)
+        index.load(data)
+        index.stats.reset()
+        cost = run_query_batch(index, queries, k=21)
+        reads[name] = cost.page_reads
+        rows.append([name, cost.page_reads, cost.cpu_ms,
+                     cost.distance_computations])
+    archive("ext_lineage",
+            "Extension: the R-tree family lineage (real data, k=21)",
+            ["index", "disk_reads", "cpu_ms", "dist_comps"], rows)
+
+    # Each named generation at least holds the line against its ancestor
+    # (small tolerance: these are stochastic structures).
+    chain = [
+        "rtree (Guttman 1984, quadratic)",
+        "rstar (Beckmann 1990)",
+        "sstree (White & Jain 1996)",
+        "srtree (Katayama & Satoh 1997)",
+        "srx (SR + X-tree supernodes)",
+    ]
+    # The headline steps of the paper must show as strict improvements.
+    assert reads["srtree (Katayama & Satoh 1997)"] < reads["sstree (White & Jain 1996)"]
+    assert reads["srx (SR + X-tree supernodes)"] <= reads[
+        "srtree (Katayama & Satoh 1997)"] * 1.05
+    # And the SR-tree beats everything upstream of it.
+    for ancestor in chain[:2]:
+        assert reads["srtree (Katayama & Satoh 1997)"] < reads[ancestor]
+
+    small = data[:1000]
+    benchmark.pedantic(
+        lambda: run_query_batch(_loaded(SRTree(16), small), queries[:5], k=21),
+        rounds=2, iterations=1,
+    )
+
+
+def _loaded(tree, data):
+    tree.load(data)
+    return tree

@@ -1,0 +1,48 @@
+"""Figure 10: SR-tree query performance on the uniform data set.
+
+Paper expectation: the SR-tree reduces CPU time to ~91 % and disk reads
+to ~93 % of the SS-tree on uniform data — a modest but consistent win —
+while the static VAMSplit R-tree still leads on this (easy, uniform)
+distribution.
+"""
+
+from conftest import archive, by_kind
+
+from repro.bench.experiments import (
+    get_dataset,
+    get_index,
+    query_experiment,
+    uniform_sizes,
+)
+from repro.bench.runner import run_query_batch
+from repro.workloads import sample_queries
+
+KINDS = ("rstar", "sstree", "srtree", "vamsplit")
+
+
+def test_fig10_sr_uniform(benchmark):
+    sizes = uniform_sizes()
+    headers, rows = query_experiment("uniform", sizes, KINDS)
+    archive("fig10_sr_uniform",
+            "Figure 10: SR-tree vs baselines on uniform data (k=21)",
+            headers, rows)
+
+    table = by_kind(rows, key_col=0)
+    largest = sizes[-1]
+    reads = {kind: table[kind][largest][3] for kind in KINDS}
+
+    # SR at worst marginally above SS and R* on uniform data at this
+    # scale (the paper reports 93 % of SS; at paper scale — run with
+    # REPRO_BENCH_SCALE=4 or more — SR drops clearly below both).
+    assert reads["srtree"] <= reads["sstree"] * 1.05
+    assert reads["srtree"] <= reads["rstar"] * 1.15
+    # SR's leaf-read savings must be real even when node reads eat them.
+    leaf_reads = {kind: table[kind][largest][5] for kind in KINDS}
+    assert leaf_reads["srtree"] <= leaf_reads["sstree"]
+
+    data = get_dataset("uniform", size=sizes[0], dims=16)
+    index = get_index("srtree", "uniform", size=sizes[0], dims=16)
+    queries = sample_queries(data, 5, seed=99)
+    benchmark.pedantic(
+        lambda: run_query_batch(index, queries, k=21), rounds=3, iterations=1
+    )

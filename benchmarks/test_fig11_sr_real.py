@@ -1,0 +1,45 @@
+"""Figure 11: SR-tree query performance on the real (histogram) data set.
+
+Paper expectation: on real feature vectors the SR-tree cuts CPU time to
+~67 % and disk reads to ~68 % of the SS-tree, and even slightly
+outperforms the static VAMSplit R-tree.
+"""
+
+from conftest import archive, by_kind
+
+from repro.bench.experiments import (
+    get_dataset,
+    get_index,
+    query_experiment,
+    real_sizes,
+)
+from repro.bench.runner import run_query_batch
+from repro.workloads import sample_queries
+
+KINDS = ("rstar", "sstree", "srtree", "vamsplit")
+
+
+def test_fig11_sr_real(benchmark):
+    sizes = real_sizes()
+    headers, rows = query_experiment("real", sizes, KINDS)
+    archive("fig11_sr_real",
+            "Figure 11: SR-tree vs baselines on real data (k=21)",
+            headers, rows)
+
+    table = by_kind(rows, key_col=0)
+    largest = sizes[-1]
+    reads = {kind: table[kind][largest][3] for kind in KINDS}
+
+    # The headline result: a clear win over the SS-tree on real data.
+    assert reads["srtree"] < 0.85 * reads["sstree"]
+    assert reads["srtree"] < reads["rstar"]
+    # Competitive with the optimized static baseline (paper: slightly
+    # better; allow parity with slack).
+    assert reads["srtree"] <= reads["vamsplit"] * 1.25
+
+    data = get_dataset("real", size=sizes[0], dims=16)
+    index = get_index("srtree", "real", size=sizes[0], dims=16)
+    queries = sample_queries(data, 5, seed=99)
+    benchmark.pedantic(
+        lambda: run_query_batch(index, queries, k=21), rounds=3, iterations=1
+    )

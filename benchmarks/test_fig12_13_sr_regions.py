@@ -1,0 +1,62 @@
+"""Figures 12-13: leaf-region shapes of the R*-, SS-, and SR-trees.
+
+Paper expectation: the SR-tree divides points into regions with *both*
+small volumes (below the SS-tree's spheres by orders of magnitude, and
+at or below the R*-tree's rectangles) *and* short diameters (on par
+with the SS-tree's spheres).  Both shapes of each SR leaf are reported,
+as upper bounds on the true intersection region (Section 5.2).
+"""
+
+from conftest import archive, by_kind
+
+from repro.analysis import measure_leaf_regions
+from repro.bench.experiments import (
+    get_index,
+    real_sizes,
+    region_experiment,
+    uniform_sizes,
+)
+
+KINDS = ("rstar", "sstree", "srtree")
+
+
+def _check(table, largest):
+    rstar = table["rstar"][largest]
+    sstree = table["sstree"][largest]
+    srtree = table["srtree"][largest]
+    # Columns: size, index, region, sphere_vol, rect_vol, sphere_diam, rect_diam.
+    sr_volume_bound = srtree[4]   # its rectangle volume (upper bound)
+    sr_diameter_bound = srtree[5]  # its sphere diameter (upper bound)
+
+    # Volume: far below the SS-tree's spheres...
+    assert sr_volume_bound < 0.1 * sstree[3]
+    # ...and within a small factor of (typically below) the R*-tree's rects.
+    assert sr_volume_bound < 3.0 * rstar[4]
+    # Diameter: as short as the SS-tree's spheres (within noise).
+    assert sr_diameter_bound < 1.2 * sstree[5]
+    # And clearly shorter than the R*-tree's diagonals.
+    assert sr_diameter_bound < rstar[6]
+
+
+def test_fig12_regions_uniform(benchmark):
+    sizes = uniform_sizes()
+    headers, rows = region_experiment("uniform", sizes, KINDS)
+    archive("fig12_regions_uniform",
+            "Figure 12: leaf-region volume/diameter, R*/SS/SR (uniform)",
+            headers, rows)
+    _check(by_kind(rows, key_col=0), sizes[-1])
+
+    index = get_index("srtree", "uniform", size=sizes[0], dims=16)
+    benchmark(lambda: measure_leaf_regions(index))
+
+
+def test_fig13_regions_real(benchmark):
+    sizes = real_sizes()
+    headers, rows = region_experiment("real", sizes, KINDS)
+    archive("fig13_regions_real",
+            "Figure 13: leaf-region volume/diameter, R*/SS/SR (real)",
+            headers, rows)
+    _check(by_kind(rows, key_col=0), sizes[-1])
+
+    index = get_index("srtree", "real", size=sizes[0], dims=16)
+    benchmark(lambda: measure_leaf_regions(index))

@@ -1,0 +1,43 @@
+"""Figure 14: node-level vs leaf-level reads (SS vs SR, real data).
+
+Paper expectation: the SR-tree incurs *more node-level* reads than the
+SS-tree (its fanout is a third, so the directory is bigger) but saves
+*more leaf-level* reads than that increase — so its total read count is
+still lower.  This is the paper's answer to the "fanout problem" of
+Section 5.3.
+"""
+
+from conftest import archive, by_kind
+
+from repro.bench.experiments import (
+    get_dataset,
+    get_index,
+    read_breakdown_experiment,
+    real_sizes,
+)
+from repro.bench.runner import run_query_batch
+from repro.workloads import sample_queries
+
+
+def test_fig14_read_breakdown(benchmark):
+    sizes = real_sizes()
+    headers, rows = read_breakdown_experiment("real", sizes)
+    archive("fig14_read_breakdown",
+            "Figure 14: node-level vs leaf-level reads (real data)",
+            headers, rows)
+
+    table = by_kind(rows, key_col=0)
+    largest = sizes[-1]
+    ss = table["sstree"][largest]
+    sr = table["srtree"][largest]
+    # Columns: size, index, node_reads, leaf_reads, total_reads.
+    assert sr[2] >= ss[2], "SR must pay more node-level reads (lower fanout)"
+    assert sr[3] < ss[3], "SR must save leaf-level reads"
+    assert sr[4] < ss[4], "the leaf savings must outweigh the node cost"
+
+    data = get_dataset("real", size=sizes[0], dims=16)
+    index = get_index("srtree", "real", size=sizes[0], dims=16)
+    queries = sample_queries(data, 5, seed=99)
+    benchmark.pedantic(
+        lambda: run_query_batch(index, queries, k=21), rounds=3, iterations=1
+    )

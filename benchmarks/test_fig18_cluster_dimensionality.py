@@ -1,0 +1,51 @@
+"""Figure 18: SS vs SR across dimensionality on the cluster data set.
+
+Paper expectation: unlike the uniform set, the cluster data set stays
+indexable in high dimensions, and the SR-tree beats the SS-tree across
+the whole sweep — by around a factor of two ("improves the performance
+about 100 % compared to the SS-tree").
+"""
+
+from conftest import archive, by_kind
+
+from repro.bench.experiments import (
+    dimensionality_experiment,
+    get_dataset,
+    get_index,
+    scaled,
+)
+from repro.bench.runner import run_query_batch
+from repro.workloads import sample_queries
+
+DIMS = [2, 4, 8, 16, 32, 64]
+
+
+def _params() -> dict:
+    return {"n_clusters": 20, "points_per_cluster": scaled(250)}
+
+
+def test_fig18_cluster_dimensionality(benchmark):
+    params = _params()
+    headers, rows = dimensionality_experiment("cluster", DIMS, **params)
+    archive("fig18_cluster_dimensionality",
+            "Figure 18: SS/SR vs dimensionality (cluster data, k=21)",
+            headers, rows)
+
+    table = by_kind(rows, key_col=0)
+    wins = 0
+    for d in DIMS:
+        ss = table["sstree"][d][3]
+        sr = table["srtree"][d][3]
+        assert sr <= ss * 1.1, (d, ss, sr)
+        if sr < 0.8 * ss:
+            wins += 1
+    # The factor-two advantage holds over most of the sweep.
+    assert wins >= len(DIMS) // 2
+
+    params16 = dict(params, dims=16)
+    data = get_dataset("cluster", **params16)
+    index = get_index("srtree", "cluster", **params16)
+    queries = sample_queries(data, 5, seed=99)
+    benchmark.pedantic(
+        lambda: run_query_batch(index, queries, k=21), rounds=3, iterations=1
+    )

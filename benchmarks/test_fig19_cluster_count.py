@@ -1,0 +1,52 @@
+"""Figure 19: SS vs SR as the data's uniformity varies.
+
+The number of clusters sweeps the cluster data set from a single dense
+ball to effectively uniform (one point per cluster), at D=16 and a
+fixed total point count.
+
+Paper expectation: the SR-tree beats the SS-tree everywhere, and the
+improvement is *largest for strongly clustered (less uniform) data* —
+the paper reports 42 % / 88 % / 36 % improvements at 1 / 100 / 100 000
+clusters.
+"""
+
+from conftest import archive, by_kind
+
+from repro.bench.experiments import (
+    cluster_count_experiment,
+    get_dataset,
+    get_index,
+    scaled,
+)
+from repro.bench.runner import run_query_batch
+from repro.workloads import sample_queries
+
+CLUSTER_COUNTS = [1, 10, 100, 1000, 10000]
+
+
+def test_fig19_cluster_count(benchmark):
+    total = scaled(10000)
+    headers, rows = cluster_count_experiment(CLUSTER_COUNTS, total_points=total)
+    archive("fig19_cluster_count",
+            "Figure 19: SS/SR vs number of clusters (D=16, k=21)",
+            headers, rows)
+
+    table = by_kind(rows, key_col=0)
+    improvements = {}
+    for count in CLUSTER_COUNTS:
+        ss = table["sstree"][count][3]
+        sr = table["srtree"][count][3]
+        assert sr <= ss * 1.1, (count, ss, sr)
+        improvements[count] = ss / sr
+    # More clustered -> bigger SR advantage: the best improvement among
+    # the clustered configurations beats the most-uniform end.
+    assert max(improvements[c] for c in CLUSTER_COUNTS[:3]) > improvements[10000]
+
+    params = {"n_clusters": 100, "points_per_cluster": max(1, total // 100),
+              "dims": 16}
+    data = get_dataset("cluster", **params)
+    index = get_index("srtree", "cluster", **params)
+    queries = sample_queries(data, 5, seed=99)
+    benchmark.pedantic(
+        lambda: run_query_batch(index, queries, k=21), rounds=3, iterations=1
+    )

@@ -1,0 +1,41 @@
+"""Figure 4: baseline comparison on the real (histogram) data set.
+
+Paper expectation: the SS-tree's advantage over the R*-tree and the
+K-D-B-tree is even larger on the real feature vectors than on uniform
+data ("about four times faster than the R*-tree").
+"""
+
+from conftest import archive, by_kind
+
+from repro.bench.experiments import (
+    get_dataset,
+    get_index,
+    query_experiment,
+    real_sizes,
+)
+from repro.bench.runner import run_query_batch
+from repro.workloads import sample_queries
+
+KINDS = ("kdb", "rstar", "sstree", "vamsplit")
+
+
+def test_fig4_real_baselines(benchmark):
+    sizes = real_sizes()
+    headers, rows = query_experiment("real", sizes, KINDS)
+    archive("fig4_real_baselines",
+            "Figure 4: K-D-B / R* / SS / VAMSplit on real data (k=21)",
+            headers, rows)
+
+    table = by_kind(rows, key_col=0)
+    largest = sizes[-1]
+    reads = {kind: table[kind][largest][3] for kind in KINDS}
+
+    assert reads["sstree"] < reads["rstar"]
+    assert reads["sstree"] < reads["kdb"]
+
+    data = get_dataset("real", size=sizes[0], dims=16)
+    index = get_index("sstree", "real", size=sizes[0], dims=16)
+    queries = sample_queries(data, 5, seed=99)
+    benchmark.pedantic(
+        lambda: run_query_batch(index, queries, k=21), rounds=3, iterations=1
+    )

@@ -1,0 +1,37 @@
+"""Figure 9: insertion cost of the R*-tree, SS-tree, and SR-tree.
+
+Paper expectation (uniform data): the centroid-based SS/SR insertion
+needs much less CPU time than the R*-tree's; the SR-tree costs more
+than the SS-tree (it maintains both shapes and has lower fanout) but
+the ordering R* > SR > SS holds for CPU, and SR needs more disk
+accesses than SS.
+"""
+
+from conftest import archive, by_kind
+
+from repro.bench.experiments import get_dataset, insertion_experiment, uniform_sizes
+from repro.bench.runner import build_with_cost
+
+
+def test_fig9_insertion_cost(benchmark):
+    sizes = uniform_sizes()
+    headers, rows = insertion_experiment("uniform", sizes)
+    archive("fig9_insertion_cost",
+            "Figure 9: insertion cost per point (uniform)", headers, rows)
+
+    table = by_kind(rows, key_col=0)
+    largest = sizes[-1]
+    cpu = {kind: table[kind][largest][2] for kind in ("rstar", "sstree", "srtree")}
+    accesses = {kind: table[kind][largest][3] for kind in ("rstar", "sstree", "srtree")}
+
+    # Centroid insertion is cheaper than the R*-tree's (paper Sec. 5.1).
+    assert cpu["sstree"] < cpu["rstar"]
+    assert cpu["srtree"] < cpu["rstar"]
+    # The SR-tree pays more than the SS-tree for its double bookkeeping;
+    # asserted on the deterministic disk-access counter (per-insert CPU
+    # differences between SS and SR are within wall-clock noise).
+    assert accesses["srtree"] >= accesses["sstree"]
+
+    data = get_dataset("uniform", size=sizes[0], dims=16)[:500]
+    benchmark.pedantic(lambda: build_with_cost("sstree", data), rounds=2,
+                       iterations=1)

@@ -1,0 +1,36 @@
+"""Table 1: maximum number of entries in a node and in a leaf.
+
+Paper expectation (Section 3.1 / 5.3, D=16, 8 KiB pages, 512 B data
+area): every point index holds 12 leaf entries; node capacities are
+about 56 (SS), 31 (R*/K-D-B/VAMSplit) and 20 (SR) — the SR-tree's
+fanout is one third of the SS-tree's and two thirds of the R*-tree's.
+"""
+
+from conftest import archive
+
+from repro.bench.experiments import fanout_experiment
+from repro.indexes import INDEX_KINDS
+
+
+def test_table1_fanout(benchmark):
+    headers, rows = fanout_experiment(dims_list=[8, 16, 32, 64])
+    archive("table1_fanout", "Table 1: node/leaf capacities", headers, rows)
+
+    caps = {row[0]: row for row in rows}
+    d16_node = {kind: caps[kind][2] for kind in caps}  # node D=16 column
+    d16_leaf = {kind: caps[kind][6] for kind in caps}  # leaf D=16 column
+
+    # Paper values at D=16.
+    assert d16_node["srtree"] == 20
+    assert d16_node["sstree"] == 56
+    assert d16_node["rstar"] == 31
+    assert d16_node["kdb"] == 31
+    assert d16_node["vamsplit"] == 31
+    assert all(leaf == 12 for leaf in d16_leaf.values())
+
+    # Section 5.3 fanout ratios.
+    assert abs(d16_node["srtree"] - d16_node["sstree"] / 3) <= 2
+    assert abs(d16_node["srtree"] - 2 * d16_node["rstar"] / 3) <= 2
+
+    benchmark(lambda: [INDEX_KINDS[k](16).node_capacity for k in INDEX_KINDS
+                       if k != "linear"])

@@ -1,0 +1,43 @@
+"""Tables 2-3: tree heights for the uniform and real data sets.
+
+Paper expectation: heights of 3-5 levels across the size sweep, growing
+(weakly) with the data-set size; the SR-tree is never more than about
+one level taller than the SS-tree despite its third of the fanout.
+"""
+
+from conftest import archive
+
+from repro.bench.experiments import (
+    get_index,
+    height_experiment,
+    real_sizes,
+    uniform_sizes,
+)
+
+
+def test_table2_heights_uniform(benchmark):
+    sizes = uniform_sizes()
+    headers, rows = height_experiment("uniform", sizes)
+    archive("table2_heights_uniform", "Table 2: tree heights (uniform)",
+            headers, rows)
+
+    heights = {row[0]: row[1:] for row in rows}
+    for kind, values in heights.items():
+        assert all(2 <= h <= 6 for h in values), (kind, values)
+        assert list(values) == sorted(values), f"{kind} heights must be monotone"
+    for ss, sr in zip(heights["sstree"], heights["srtree"], strict=True):
+        assert sr <= ss + 1
+
+    benchmark(lambda: get_index("srtree", "uniform", size=sizes[0], dims=16).height)
+
+
+def test_table3_heights_real(benchmark):
+    sizes = real_sizes()
+    headers, rows = height_experiment("real", sizes)
+    archive("table3_heights_real", "Table 3: tree heights (real)", headers, rows)
+
+    heights = {row[0]: row[1:] for row in rows}
+    for kind, values in heights.items():
+        assert all(2 <= h <= 6 for h in values), (kind, values)
+
+    benchmark(lambda: get_index("srtree", "real", size=sizes[0], dims=16).height)

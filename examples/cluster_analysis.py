@@ -1,0 +1,74 @@
+"""The paper's geometric story, reproduced on one screen.
+
+Section 3 of the paper explains *why* the SR-tree works through the
+shapes of leaf regions:
+
+* bounding rectangles give small volumes but long diagonals,
+* bounding spheres give short diameters but huge volumes,
+* their intersection is small in both senses, which improves the
+  disjointness of sibling regions and prunes nearest-neighbor search.
+
+This example builds the R*-tree, SS-tree, and SR-tree over the same
+clustered data set (the paper's Section 5.4 workload), measures their
+leaf-region geometry, and connects it to the observable effect: pages
+read per query.
+
+Run with:  python examples/cluster_analysis.py
+"""
+
+from repro import RStarTree, SRTree, SSTree, cluster_dataset, sample_queries
+from repro.analysis import measure_leaf_regions
+from repro.bench import run_query_batch
+
+
+def main() -> None:
+    dims = 16
+    data = cluster_dataset(n_clusters=40, points_per_cluster=250, dims=dims,
+                           seed=3)
+    queries = sample_queries(data, 50, seed=9)
+    print(f"cluster data set: {data.shape[0]} points, {dims}-d, 40 clusters\n")
+
+    trees = {}
+    for cls in (RStarTree, SSTree, SRTree):
+        tree = cls(dims)
+        tree.load(data)
+        tree.stats.reset()
+        trees[cls.NAME] = tree
+
+    # --- geometry: the cause ---------------------------------------------
+    print(f"{'index':<8} {'sphere vol':>12} {'rect vol':>12} "
+          f"{'sphere diam':>12} {'rect diam':>10}")
+    shapes = {}
+    for name, tree in trees.items():
+        stats = measure_leaf_regions(tree)
+        shapes[name] = stats
+        print(f"{name:<8} {stats.sphere_volume_mean:>12.3e} "
+              f"{stats.rect_volume_mean:>12.3e} "
+              f"{stats.sphere_diameter_mean:>12.3f} "
+              f"{stats.rect_diameter_mean:>10.3f}")
+
+    print("""
+reading the table (the paper's Figures 5/12/13):
+ * the R*-tree's rectangles: small volume, long diagonal;
+ * the SS-tree's spheres: short diameter, enormous volume;
+ * the SR-tree region is inside BOTH its shapes, so its volume is
+   bounded by the rect column and its diameter by the sphere column —
+   small and short at the same time.
+""")
+
+    # --- performance: the effect -------------------------------------------
+    print(f"{'index':<8} {'reads/query':>12} {'node':>8} {'leaf':>8} "
+          f"{'cpu ms':>8}")
+    for name, tree in trees.items():
+        cost = run_query_batch(tree, queries, k=21)
+        print(f"{name:<8} {cost.page_reads:>12.1f} {cost.node_reads:>8.1f} "
+              f"{cost.leaf_reads:>8.1f} {cost.cpu_ms:>8.2f}")
+
+    print("""
+the SR-tree pays extra node-level reads (its fanout is a third of the
+SS-tree's) but saves far more leaf-level reads — the Figure 14 trade
+that makes it the overall winner on clustered, high-dimensional data.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Shootout: every index structure in the library on one workload.
+
+Builds all six access methods (the five of the paper plus the exact
+linear scan) over the same data set and reports construction cost,
+structure, and cold-query cost side by side — a compact version of the
+paper's whole evaluation, on a workload of your choice.
+
+Run with:
+    python examples/index_shootout.py                 # histogram corpus
+    python examples/index_shootout.py uniform         # uniform cube
+    python examples/index_shootout.py cluster         # spherical clusters
+"""
+
+import sys
+import time
+
+from repro import (
+    INDEX_KINDS,
+    build_index,
+    cluster_dataset,
+    histogram_dataset,
+    sample_queries,
+    uniform_dataset,
+)
+from repro.bench import run_query_batch
+
+DATASETS = {
+    "real": lambda: histogram_dataset(6000, bins=16, seed=0),
+    "uniform": lambda: uniform_dataset(6000, 16, seed=0),
+    "cluster": lambda: cluster_dataset(30, 200, 16, seed=0),
+}
+
+
+def main(dataset: str = "real") -> None:
+    if dataset not in DATASETS:
+        raise SystemExit(f"unknown dataset {dataset!r}; pick from {sorted(DATASETS)}")
+    data = DATASETS[dataset]()
+    queries = sample_queries(data, 50, seed=1)
+    print(f"data set: {dataset} ({data.shape[0]} x {data.shape[1]}), "
+          f"50 queries, k=21\n")
+
+    header = (f"{'index':<9} {'build s':>8} {'height':>7} {'leaves':>7} "
+              f"{'reads/q':>8} {'node/q':>7} {'leaf/q':>7} {'cpu ms/q':>9}")
+    print(header)
+    print("-" * len(header))
+
+    ordering = ["linear", "kdb", "rtree", "rstar", "sstree", "srtree", "srx", "vamsplit"]
+    for kind in ordering:
+        assert kind in INDEX_KINDS
+        start = time.perf_counter()
+        index = build_index(kind, data)
+        build_seconds = time.perf_counter() - start
+        index.stats.reset()
+
+        cost = run_query_batch(index, queries, k=21)
+        height = index.height if kind != "linear" else 1
+        print(f"{kind:<9} {build_seconds:>8.2f} {height:>7} "
+              f"{index.leaf_count():>7} {cost.page_reads:>8.1f} "
+              f"{cost.node_reads:>7.1f} {cost.leaf_reads:>7.1f} "
+              f"{cost.cpu_ms:>9.2f}")
+
+    print("""
+what to look for (the paper's conclusions):
+ * linear scan reads every page — the bar any index must beat;
+ * the K-D-B-tree and the R-tree family trail in high dimensions;
+ * the SS-tree beats them by using centroid spheres;
+ * the SR-tree beats the SS-tree by intersecting spheres with rects;
+ * the SRX-tree adds X-tree supernodes for a further small gain;
+ * VAMSplit is a *static* optimized build — the SR-tree approaches or
+   beats it on non-uniform data while remaining fully dynamic.""")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "real")

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (offline environments).
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable wheels (or that lack the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

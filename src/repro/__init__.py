@@ -1,0 +1,98 @@
+"""repro — the SR-tree and its baselines, reproduced from the paper.
+
+A production-quality reproduction of *Katayama & Satoh, "The SR-tree:
+An Index Structure for High-Dimensional Nearest Neighbor Queries",
+SIGMOD 1997*: five disk-based multidimensional index structures over a
+paged storage engine, the workloads and measurements of the paper's
+evaluation, and a benchmark harness regenerating every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import SRTree
+
+    data = np.random.default_rng(0).random((1000, 16))
+    tree = SRTree(dims=16)
+    tree.load(data)
+
+    for neighbor in tree.nearest(data[0], k=5):
+        print(neighbor.distance, neighbor.value)
+
+See ``examples/`` for complete programs and ``DESIGN.md`` for the
+architecture and the per-experiment index.
+"""
+
+from .exceptions import (
+    DimensionalityError,
+    EmptyIndexError,
+    InvariantViolationError,
+    KeyNotFoundError,
+    ReproError,
+    StorageError,
+    WorkloadError,
+)
+from .geometry import Rect, Sphere, SRRegion
+from .indexes import (
+    INDEX_KINDS,
+    KDBTree,
+    LinearScan,
+    Neighbor,
+    RStarTree,
+    RTree,
+    SRTree,
+    SRXTree,
+    SSTree,
+    SpatialIndex,
+    VAMSplitRTree,
+    build_index,
+    bulk_load,
+    make_index,
+    open_index,
+)
+from .storage import FilePageFile, InMemoryPageFile, IOStats
+from .workloads import (
+    PAPER_K,
+    cluster_dataset,
+    histogram_dataset,
+    sample_queries,
+    uniform_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DimensionalityError",
+    "EmptyIndexError",
+    "FilePageFile",
+    "INDEX_KINDS",
+    "IOStats",
+    "InMemoryPageFile",
+    "InvariantViolationError",
+    "KDBTree",
+    "KeyNotFoundError",
+    "LinearScan",
+    "Neighbor",
+    "PAPER_K",
+    "RStarTree",
+    "RTree",
+    "Rect",
+    "ReproError",
+    "SRRegion",
+    "SRTree",
+    "SRXTree",
+    "SSTree",
+    "SpatialIndex",
+    "Sphere",
+    "StorageError",
+    "VAMSplitRTree",
+    "WorkloadError",
+    "__version__",
+    "build_index",
+    "bulk_load",
+    "cluster_dataset",
+    "histogram_dataset",
+    "make_index",
+    "open_index",
+    "sample_queries",
+    "uniform_dataset",
+]

@@ -1,0 +1,29 @@
+"""Measurements behind the paper's analysis figures.
+
+* :mod:`~repro.analysis.regions` — leaf-region volume/diameter
+  (Figures 5, 6, 12, 13);
+* :mod:`~repro.analysis.distances` — pairwise-distance concentration
+  (Figure 17);
+* :mod:`~repro.analysis.leafaccess` — fraction of leaves read per query
+  (Figure 16).
+"""
+
+from .distances import DistanceSpread, distance_spread
+from .leafaccess import LeafAccessReport, leaf_access_ratio
+from .overlap import OverlapReport, measure_sibling_overlap
+from .regions import LeafRegionStats, measure_leaf_regions
+from .treestats import LevelStats, TreeDescription, describe
+
+__all__ = [
+    "DistanceSpread",
+    "LeafAccessReport",
+    "LeafRegionStats",
+    "LevelStats",
+    "OverlapReport",
+    "TreeDescription",
+    "describe",
+    "distance_spread",
+    "leaf_access_ratio",
+    "measure_leaf_regions",
+    "measure_sibling_overlap",
+]

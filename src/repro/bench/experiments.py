@@ -1,0 +1,389 @@
+"""Experiment definitions: one function per paper table/figure family.
+
+Each function returns ``(headers, rows)`` ready for
+:func:`repro.bench.report.format_table`; the modules under
+``benchmarks/`` are thin wrappers that run one experiment, archive its
+table under ``benchmarks/results/``, and assert the qualitative shape
+the paper reports.
+
+Scales default to a laptop-friendly fraction of the paper's (the
+substrate is pure Python); set the environment variable
+``REPRO_BENCH_SCALE`` to a float to grow or shrink every data set, e.g.
+``REPRO_BENCH_SCALE=10`` approaches the paper's original sizes.
+
+Built indexes and generated data sets are memoized per process so the
+benchmark suite shares work across figures (the paper's figures reuse
+the same trees too).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..analysis import distance_spread, leaf_access_ratio, measure_leaf_regions
+from ..indexes import INDEX_KINDS, build_index
+from ..indexes.base import SpatialIndex
+from ..workloads import (
+    PAPER_K,
+    cluster_dataset,
+    histogram_dataset,
+    sample_queries,
+    uniform_dataset,
+)
+from .runner import build_with_cost, run_query_batch
+
+__all__ = [
+    "scale",
+    "scaled",
+    "uniform_sizes",
+    "real_sizes",
+    "dims_sweep",
+    "get_dataset",
+    "get_index",
+    "clear_caches",
+    "fanout_experiment",
+    "height_experiment",
+    "query_experiment",
+    "region_experiment",
+    "ss_rect_volume_experiment",
+    "insertion_experiment",
+    "read_breakdown_experiment",
+    "dimensionality_experiment",
+    "leaf_access_experiment",
+    "distance_concentration_experiment",
+    "cluster_count_experiment",
+]
+
+_QUERY_SEED = 1234
+
+
+def scale() -> float:
+    """The global benchmark scale factor (``REPRO_BENCH_SCALE``, default 1)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(base: int, minimum: int = 200) -> int:
+    """Scale a base data-set size by the global factor."""
+    return max(minimum, int(base * scale()))
+
+
+def uniform_sizes() -> list[int]:
+    """Data-set sizes for the uniform sweeps (paper: 10k..100k)."""
+    return [scaled(2000), scaled(5000), scaled(10000)]
+
+
+def real_sizes() -> list[int]:
+    """Data-set sizes for the "real" (histogram) sweeps (paper: 2k..20k)."""
+    return [scaled(1000), scaled(2500), scaled(5000)]
+
+
+def dims_sweep() -> list[int]:
+    """Dimensionalities for the Figure 15-18 sweeps (paper: 1..64)."""
+    return [1, 2, 4, 8, 16, 32, 64]
+
+
+def query_count() -> int:
+    """Queries per measurement point (paper: 1000 random trials)."""
+    return max(10, int(50 * min(scale(), 2.0)))
+
+
+# ----------------------------------------------------------------------
+# dataset and index caches
+# ----------------------------------------------------------------------
+
+_datasets: dict[tuple, np.ndarray] = {}
+_indexes: dict[tuple, SpatialIndex] = {}
+
+
+def get_dataset(family: str, **params) -> np.ndarray:
+    """Fetch (and memoize) a workload data set.
+
+    ``family`` is ``uniform`` (params: size, dims), ``real`` (params:
+    size, dims — the synthetic histogram stand-in), or ``cluster``
+    (params: n_clusters, points_per_cluster, dims).
+    """
+    key = (family, tuple(sorted(params.items())))
+    if key in _datasets:
+        return _datasets[key]
+    if family == "uniform":
+        data = uniform_dataset(params["size"], params["dims"], seed=params.get("seed", 0))
+    elif family == "real":
+        data = histogram_dataset(
+            params["size"], bins=params["dims"], seed=params.get("seed", 0)
+        )
+    elif family == "cluster":
+        data = cluster_dataset(
+            params["n_clusters"],
+            params["points_per_cluster"],
+            params["dims"],
+            seed=params.get("seed", 0),
+        )
+    else:
+        raise ValueError(f"unknown dataset family {family!r}")
+    _datasets[key] = data
+    return data
+
+
+def get_index(kind: str, family: str, **params) -> SpatialIndex:
+    """Fetch (and memoize) an index of ``kind`` over a memoized data set."""
+    if kind not in INDEX_KINDS:
+        raise ValueError(f"unknown index kind {kind!r}")
+    key = (kind, family, tuple(sorted(params.items())))
+    if key in _indexes:
+        return _indexes[key]
+    data = get_dataset(family, **params)
+    index = build_index(kind, data)
+    index.stats.reset()
+    _indexes[key] = index
+    return index
+
+
+def clear_caches() -> None:
+    """Drop every memoized data set and index (frees their page files)."""
+    _datasets.clear()
+    _indexes.clear()
+
+
+def _queries_for(data: np.ndarray) -> np.ndarray:
+    return sample_queries(data, min(query_count(), data.shape[0]), seed=_QUERY_SEED)
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+
+def fanout_experiment(dims_list: list[int] | None = None):
+    """Table 1: maximum entries in a node and a leaf per index family."""
+    if dims_list is None:
+        dims_list = [8, 16, 32, 64]
+    headers = ["index"] + [f"node D={d}" for d in dims_list] + [
+        f"leaf D={d}" for d in dims_list
+    ]
+    rows = []
+    for kind in ("kdb", "rstar", "vamsplit", "sstree", "srtree"):
+        cls = INDEX_KINDS[kind]
+        node_caps = []
+        leaf_caps = []
+        for dims in dims_list:
+            index = cls(dims)
+            node_caps.append(index.node_capacity)
+            leaf_caps.append(index.leaf_capacity)
+        rows.append([kind, *node_caps, *leaf_caps])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Tables 2-3
+# ----------------------------------------------------------------------
+
+def height_experiment(family: str, sizes: list[int], dims: int = 16,
+                      kinds: tuple[str, ...] = ("kdb", "rstar", "vamsplit",
+                                                "sstree", "srtree")):
+    """Tables 2-3: tree heights by data-set size."""
+    headers = ["index"] + [f"n={size}" for size in sizes]
+    rows = []
+    for kind in kinds:
+        heights = []
+        for size in sizes:
+            index = get_index(kind, family, size=size, dims=dims)
+            heights.append(index.height)
+        rows.append([kind, *heights])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figures 3, 4, 10, 11
+# ----------------------------------------------------------------------
+
+def query_experiment(family: str, sizes: list[int], kinds: tuple[str, ...],
+                     dims: int = 16, k: int = PAPER_K):
+    """Per-query CPU time and disk reads vs data-set size (Figs 3/4/10/11)."""
+    headers = ["size", "index", "cpu_ms", "disk_reads", "node_reads",
+               "leaf_reads", "dist_comps"]
+    rows = []
+    for size in sizes:
+        data = get_dataset(family, size=size, dims=dims)
+        queries = _queries_for(data)
+        for kind in kinds:
+            index = get_index(kind, family, size=size, dims=dims)
+            cost = run_query_batch(index, queries, k=k)
+            rows.append([
+                size, kind, cost.cpu_ms, cost.page_reads, cost.node_reads,
+                cost.leaf_reads, cost.distance_computations,
+            ])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figures 5, 12, 13
+# ----------------------------------------------------------------------
+
+def region_experiment(family: str, sizes: list[int], kinds: tuple[str, ...],
+                      dims: int = 16):
+    """Average leaf-region volume and diameter per index (Figs 5/12/13).
+
+    For each index both bounding shapes of every leaf are measured; the
+    shape the index actually uses is flagged in the ``region`` column
+    (the SR-tree uses both — its true region volume/diameter is bounded
+    above by the reported numbers, as in the paper's Section 5.2).
+    """
+    headers = ["size", "index", "region", "sphere_vol", "rect_vol",
+               "sphere_diam", "rect_diam"]
+    shape_used = {"rstar": "rect", "sstree": "sphere", "srtree": "both",
+                  "kdb": "rect", "vamsplit": "rect"}
+    rows = []
+    for size in sizes:
+        for kind in kinds:
+            index = get_index(kind, family, size=size, dims=dims)
+            stats = measure_leaf_regions(index)
+            rows.append([
+                size, kind, shape_used.get(kind, "rect"),
+                stats.sphere_volume_mean, stats.rect_volume_mean,
+                stats.sphere_diameter_mean, stats.rect_diameter_mean,
+            ])
+    return headers, rows
+
+
+def ss_rect_volume_experiment(sizes: list[int], dims: int = 16):
+    """Figure 6: SS-tree leaf volumes re-measured with bounding rectangles."""
+    headers = ["size", "ss_sphere_vol", "ss_rect_vol", "rect_to_sphere_ratio"]
+    rows = []
+    for size in sizes:
+        index = get_index("sstree", "uniform", size=size, dims=dims)
+        stats = measure_leaf_regions(index)
+        ratio = (
+            stats.rect_volume_mean / stats.sphere_volume_mean
+            if stats.sphere_volume_mean > 0
+            else float("nan")
+        )
+        rows.append([size, stats.sphere_volume_mean, stats.rect_volume_mean, ratio])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figure 9
+# ----------------------------------------------------------------------
+
+def insertion_experiment(family: str, sizes: list[int],
+                         kinds: tuple[str, ...] = ("rstar", "sstree", "srtree"),
+                         dims: int = 16):
+    """Figure 9: per-insert CPU time and disk accesses while building."""
+    headers = ["size", "index", "cpu_ms_per_insert", "disk_accesses_per_insert"]
+    rows = []
+    for size in sizes:
+        data = get_dataset(family, size=size, dims=dims)
+        for kind in kinds:
+            index, cost = build_with_cost(kind, data)
+            key = (kind, family, tuple(sorted({"size": size, "dims": dims}.items())))
+            _indexes.setdefault(key, index)
+            rows.append([size, kind, cost.cpu_ms, cost.disk_accesses])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figure 14
+# ----------------------------------------------------------------------
+
+def read_breakdown_experiment(family: str, sizes: list[int],
+                              kinds: tuple[str, ...] = ("sstree", "srtree"),
+                              dims: int = 16, k: int = PAPER_K):
+    """Figure 14: node-level vs leaf-level reads per query."""
+    headers = ["size", "index", "node_reads", "leaf_reads", "total_reads"]
+    rows = []
+    for size in sizes:
+        data = get_dataset(family, size=size, dims=dims)
+        queries = _queries_for(data)
+        for kind in kinds:
+            index = get_index(kind, family, size=size, dims=dims)
+            cost = run_query_batch(index, queries, k=k)
+            rows.append([size, kind, cost.node_reads, cost.leaf_reads,
+                         cost.page_reads])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figures 15, 18
+# ----------------------------------------------------------------------
+
+def dimensionality_experiment(family: str, dims_list: list[int],
+                              kinds: tuple[str, ...] = ("sstree", "srtree"),
+                              k: int = PAPER_K, **family_params):
+    """Figures 15/18: CPU time and disk reads vs dimensionality."""
+    headers = ["dims", "index", "cpu_ms", "disk_reads", "dist_comps"]
+    rows = []
+    for dims in dims_list:
+        params = dict(family_params, dims=dims)
+        data = get_dataset(family, **params)
+        queries = _queries_for(data)
+        for kind in kinds:
+            index = get_index(kind, family, **params)
+            cost = run_query_batch(index, queries, k=k)
+            rows.append([dims, kind, cost.cpu_ms, cost.page_reads,
+                         cost.distance_computations])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figure 16
+# ----------------------------------------------------------------------
+
+def leaf_access_experiment(dims_list: list[int], size: int,
+                           kinds: tuple[str, ...] = ("sstree", "srtree"),
+                           k: int = PAPER_K):
+    """Figure 16: fraction of leaves read per query vs dimensionality."""
+    headers = ["dims", "index", "leaves_total", "leaves_read", "ratio_pct"]
+    rows = []
+    for dims in dims_list:
+        data = get_dataset("uniform", size=size, dims=dims)
+        queries = _queries_for(data)
+        for kind in kinds:
+            index = get_index(kind, "uniform", size=size, dims=dims)
+            report = leaf_access_ratio(index, queries, k=k)
+            rows.append([dims, kind, report.total_leaves,
+                         report.mean_leaves_read, 100.0 * report.ratio])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figure 17
+# ----------------------------------------------------------------------
+
+def distance_concentration_experiment(dims_list: list[int], size: int):
+    """Figure 17: min/avg/max pairwise distance of the uniform data set."""
+    headers = ["dims", "min", "avg", "max", "min_to_max_pct"]
+    rows = []
+    for dims in dims_list:
+        data = get_dataset("uniform", size=size, dims=dims)
+        spread = distance_spread(data)
+        rows.append([dims, spread.minimum, spread.average, spread.maximum,
+                     100.0 * spread.min_to_max_ratio])
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figure 19
+# ----------------------------------------------------------------------
+
+def cluster_count_experiment(cluster_counts: list[int], total_points: int,
+                             dims: int = 16,
+                             kinds: tuple[str, ...] = ("sstree", "srtree"),
+                             k: int = PAPER_K):
+    """Figure 19: performance vs data uniformity (number of clusters)."""
+    headers = ["clusters", "index", "cpu_ms", "disk_reads"]
+    rows = []
+    for n_clusters in cluster_counts:
+        points_per_cluster = max(1, total_points // n_clusters)
+        params = {
+            "n_clusters": n_clusters,
+            "points_per_cluster": points_per_cluster,
+            "dims": dims,
+        }
+        data = get_dataset("cluster", **params)
+        queries = _queries_for(data)
+        for kind in kinds:
+            index = get_index(kind, "cluster", **params)
+            cost = run_query_batch(index, queries, k=k)
+            rows.append([n_clusters, kind, cost.cpu_ms, cost.page_reads])
+    return headers, rows

@@ -1,0 +1,62 @@
+"""Plain-text report formatting for the benchmark harness.
+
+Each benchmark prints (and archives under ``benchmarks/results/``) a
+fixed-width table holding the same rows/series the corresponding paper
+figure plots, so a run of the benchmark suite regenerates the paper's
+evaluation as text.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_value", "write_report"]
+
+
+def format_value(value) -> str:
+    """Render one cell: compact fixed or scientific notation for floats."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width text table with a header rule."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def write_report(path: str | os.PathLike, title: str, body: str) -> str:
+    """Write a titled report to ``path`` (creating directories) and return it."""
+    text = f"{title}\n{'=' * len(title)}\n\n{body}\n"
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text

@@ -1,0 +1,108 @@
+"""Experiment runner: build indexes and measure query/insertion costs.
+
+Reproduces the paper's measurement methodology (Section 3.1):
+
+* **Queries** are k-nearest-neighbor searches (k = 21) from points of
+  the data set, averaged over many random trials.  Before each query the
+  buffer pool is dropped, so the read counter equals the number of
+  pages the query touches — the paper's "number of disk reads".
+* **CPU time** is wall-clock time of the search code
+  (``time.perf_counter``); the machine-independent distance-computation
+  count is reported alongside it.
+* **Insertion cost** (Figure 9) is the average CPU time and the average
+  number of physical disk accesses (reads + writes) per inserted point,
+  measured while building with a realistic (finite) buffer pool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..indexes import build_index
+from ..indexes.base import SpatialIndex
+
+__all__ = ["QueryCost", "BuildCost", "run_query_batch", "build_with_cost"]
+
+
+@dataclass(frozen=True)
+class QueryCost:
+    """Per-query averages over a batch of k-NN searches."""
+
+    queries: int
+    k: int
+    cpu_ms: float
+    page_reads: float
+    node_reads: float
+    leaf_reads: float
+    distance_computations: float
+
+
+@dataclass(frozen=True)
+class BuildCost:
+    """Per-insert averages over the construction of an index."""
+
+    points: int
+    cpu_ms: float
+    disk_accesses: float
+    page_reads: float
+    page_writes: float
+
+
+def run_query_batch(
+    index: SpatialIndex,
+    queries: np.ndarray,
+    k: int = 21,
+    cold: bool = True,
+) -> QueryCost:
+    """Run a batch of k-NN queries and average their costs.
+
+    ``cold=True`` (the default, matching the paper) drops the buffer
+    pool before each query so that page reads count every page touched.
+    """
+    queries = np.ascontiguousarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[0] == 0:
+        raise ValueError("expected a non-empty (Q, D) array of query points")
+    n = queries.shape[0]
+
+    total_cpu = 0.0
+    before_all = index.stats.snapshot()
+    for query in queries:
+        if cold:
+            index.store.drop_cache()
+        start = time.perf_counter()
+        index.nearest(query, k)
+        total_cpu += time.perf_counter() - start
+    delta = index.stats.since(before_all)
+
+    return QueryCost(
+        queries=n,
+        k=k,
+        cpu_ms=total_cpu / n * 1e3,
+        page_reads=delta.page_reads / n,
+        node_reads=delta.node_reads / n,
+        leaf_reads=delta.leaf_reads / n,
+        distance_computations=delta.distance_computations / n,
+    )
+
+
+def build_with_cost(kind: str, points: np.ndarray, **kwargs) -> tuple[SpatialIndex, BuildCost]:
+    """Build an index over ``points`` and measure the construction cost."""
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n = points.shape[0]
+    start = time.perf_counter()
+    index = build_index(kind, points, **kwargs)
+    elapsed = time.perf_counter() - start
+    index.store.flush()
+    stats = index.stats.snapshot()
+    cost = BuildCost(
+        points=n,
+        cpu_ms=elapsed / max(n, 1) * 1e3,
+        disk_accesses=stats.disk_accesses / max(n, 1),
+        page_reads=stats.page_reads / max(n, 1),
+        page_writes=stats.page_writes / max(n, 1),
+    )
+    index.stats.reset()
+    return index, cost

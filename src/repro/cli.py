@@ -1,0 +1,163 @@
+"""Command-line interface: build, query, and inspect indexes from files.
+
+Usage (also via ``python -m repro``)::
+
+    # Generate a workload (NumPy .npy file of shape (N, D)).
+    python -m repro generate --family cluster --size 10000 --dims 16 \\
+        --out data.npy
+
+    # Build a durable on-disk index over it.
+    python -m repro build --kind srtree --data data.npy --out images.srtree
+
+    # Inspect its structure.
+    python -m repro info --index images.srtree
+
+    # Query it: the k nearest neighbors of a point.
+    python -m repro query --index images.srtree --point 0.1,0.2,... -k 21
+    python -m repro query --index images.srtree --row 123 --data data.npy
+
+The query command also reports the paper's cost metric (pages read by
+the cold query).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .analysis import describe
+from .indexes import INDEX_KINDS, build_index, open_index
+from .workloads import cluster_dataset, histogram_dataset, uniform_dataset
+
+__all__ = ["main"]
+
+_BUILDABLE = sorted(k for k in INDEX_KINDS)
+_FAMILIES = ("uniform", "cluster", "real")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SR-tree reproduction: build, query, and inspect "
+                    "high-dimensional disk indexes.",
+    )
+    sub = parser.add_subparsers(required=True)
+
+    generate = sub.add_parser("generate", help="generate a workload .npy file")
+    generate.add_argument("--family", choices=_FAMILIES, default="uniform")
+    generate.add_argument("--size", type=int, default=10000,
+                          help="number of points")
+    generate.add_argument("--dims", type=int, default=16)
+    generate.add_argument("--clusters", type=int, default=100,
+                          help="cluster count (cluster family only)")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output .npy path")
+    generate.set_defaults(handler=_cmd_generate)
+
+    build = sub.add_parser("build", help="build an on-disk index from a .npy file")
+    build.add_argument("--kind", choices=_BUILDABLE, default="srtree")
+    build.add_argument("--data", required=True, help="(N, D) .npy of points")
+    build.add_argument("--out", required=True, help="output index file")
+    build.add_argument("--page-size", type=int, default=8192)
+    build.set_defaults(handler=_cmd_build)
+
+    info = sub.add_parser("info", help="describe a saved index")
+    info.add_argument("--index", required=True)
+    info.set_defaults(handler=_cmd_info)
+
+    query = sub.add_parser("query", help="k-NN query against a saved index")
+    query.add_argument("--index", required=True)
+    query.add_argument("-k", type=int, default=21)
+    point = query.add_mutually_exclusive_group(required=True)
+    point.add_argument("--point", help="comma-separated coordinates")
+    point.add_argument("--row", type=int,
+                       help="row of --data to use as the query point")
+    query.add_argument("--data", help=".npy file for --row queries")
+    query.set_defaults(handler=_cmd_query)
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.family == "uniform":
+        data = uniform_dataset(args.size, args.dims, seed=args.seed)
+    elif args.family == "real":
+        data = histogram_dataset(args.size, bins=args.dims, seed=args.seed)
+    else:
+        per_cluster = max(1, args.size // args.clusters)
+        data = cluster_dataset(args.clusters, per_cluster, args.dims,
+                               seed=args.seed)
+    np.save(args.out, data)
+    print(f"wrote {data.shape[0]} x {data.shape[1]} {args.family} points "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from .storage import FilePageFile
+
+    data = np.load(args.data)
+    if data.ndim != 2:
+        raise ValueError(f"{args.data} does not hold an (N, D) point array")
+    start = time.perf_counter()
+    index = build_index(
+        args.kind, data,
+        pagefile=FilePageFile(args.out, page_size=args.page_size),
+    )
+    elapsed = time.perf_counter() - start
+    index.close()
+    print(f"built {args.kind} over {data.shape[0]} x {data.shape[1]} points "
+          f"in {elapsed:.2f}s -> {args.out}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    index = open_index(args.index)
+    try:
+        print(describe(index))
+    finally:
+        index.store.close()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    index = open_index(args.index)
+    try:
+        if args.point is not None:
+            point = np.array([float(x) for x in args.point.split(",")])
+        else:
+            if not args.data:
+                raise ValueError("--row requires --data")
+            point = np.load(args.data)[args.row]
+        index.store.drop_cache()
+        before = index.stats.snapshot()
+        start = time.perf_counter()
+        neighbors = index.nearest(point, k=args.k)
+        elapsed = (time.perf_counter() - start) * 1e3
+        cost = index.stats.since(before)
+        for n in neighbors:
+            print(f"{n.distance:.6f}  {n.value!r}")
+        print(f"-- {len(neighbors)} neighbors, {cost.page_reads} page reads "
+              f"({cost.node_reads} node + {cost.leaf_reads} leaf), "
+              f"{elapsed:.2f} ms")
+    finally:
+        index.store.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of the index layer with a single ``except``
+clause while still being able to discriminate finer-grained failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionalityError(ReproError, ValueError):
+    """A vector with the wrong number of dimensions was supplied.
+
+    Raised, for example, when inserting an 8-dimensional point into an
+    index built for 16-dimensional data.
+    """
+
+
+class StorageError(ReproError):
+    """Base class for failures in the paged storage engine."""
+
+
+class PageNotFoundError(StorageError, KeyError):
+    """A page id was requested that has never been allocated."""
+
+
+class PageOverflowError(StorageError, ValueError):
+    """A serialized node did not fit into a single fixed-size page."""
+
+
+class BufferPinError(StorageError, RuntimeError):
+    """The buffer pool could not evict a page because every frame is pinned."""
+
+
+class SerializationError(StorageError, ValueError):
+    """A page image could not be decoded into a node."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-structure level failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class EmptyIndexError(IndexError_, LookupError):
+    """A query requiring data (e.g. nearest neighbor) hit an empty index."""
+
+
+class KeyNotFoundError(IndexError_, KeyError):
+    """A deletion targeted a point that is not present in the index."""
+
+
+class InvariantViolationError(IndexError_, AssertionError):
+    """An internal structural invariant check failed.
+
+    Raised only by the explicit ``check_invariants`` validators, never
+    during normal operation; seeing this exception means the tree is
+    corrupt (or the validator has found a genuine bug).
+    """
+
+
+class WorkloadError(ReproError, ValueError):
+    """Invalid parameters were supplied to a workload generator."""

@@ -1,0 +1,53 @@
+"""Geometric primitives: points, rectangles, spheres, and SR regions.
+
+This package is the computational kernel shared by every index structure:
+
+* :mod:`~repro.geometry.point` — point coercion and distance kernels,
+* :mod:`~repro.geometry.rectangle` — MBRs with MINDIST / farthest-vertex,
+* :mod:`~repro.geometry.sphere` — centroid bounding spheres,
+* :mod:`~repro.geometry.region` — the SR-tree's sphere-rectangle intersection,
+* :mod:`~repro.geometry.volume` — log-domain hypervolume helpers.
+"""
+
+from .point import (
+    as_point,
+    as_points,
+    distance,
+    distances_to_many,
+    pairwise_distances,
+    squared_distances_to_many,
+)
+from .rectangle import Rect, farthest_point_rects, mindist_point_rects, union_rects
+from .region import SRRegion
+from .sphere import Sphere, maxdist_point_spheres, mindist_point_spheres
+from .volume import (
+    log_rect_volume,
+    log_sphere_volume,
+    log_unit_ball_volume,
+    rect_volume,
+    sphere_volume,
+    unit_ball_volume,
+)
+
+__all__ = [
+    "Rect",
+    "SRRegion",
+    "Sphere",
+    "as_point",
+    "as_points",
+    "distance",
+    "distances_to_many",
+    "farthest_point_rects",
+    "log_rect_volume",
+    "log_sphere_volume",
+    "log_unit_ball_volume",
+    "maxdist_point_spheres",
+    "mindist_point_rects",
+    "mindist_point_spheres",
+    "pairwise_distances",
+    "rect_volume",
+    "sphere_volume",
+    "squared_distances_to_many",
+    "union_rects",
+    "unit_ball_volume",
+]

@@ -1,0 +1,122 @@
+"""Point utilities shared by every index structure.
+
+Points are plain ``numpy.ndarray`` objects of dtype ``float64``.  The helpers
+here normalise user input (lists, tuples, arrays of any float dtype) into that
+canonical form and provide the small set of vectorised distance kernels the
+trees are built on.
+
+The library uses the Euclidean (L2) metric throughout, matching the paper;
+:mod:`repro.search.metrics` provides alternative metrics for range queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DimensionalityError
+
+__all__ = [
+    "as_point",
+    "as_points",
+    "check_dims",
+    "distance",
+    "distances_to_many",
+    "pairwise_distances",
+    "squared_distances_to_many",
+]
+
+
+def as_point(value, dims: int | None = None) -> np.ndarray:
+    """Coerce ``value`` into a 1-D float64 vector.
+
+    Parameters
+    ----------
+    value:
+        Anything ``numpy.asarray`` understands (list, tuple, ndarray).
+    dims:
+        When given, the expected dimensionality; a mismatch raises
+        :class:`~repro.exceptions.DimensionalityError`.
+
+    Returns
+    -------
+    numpy.ndarray
+        A contiguous float64 copy-or-view of shape ``(D,)``.
+    """
+    point = np.ascontiguousarray(value, dtype=np.float64)
+    if point.ndim != 1:
+        raise DimensionalityError(
+            f"expected a 1-D point, got array of shape {point.shape}"
+        )
+    if dims is not None and point.shape[0] != dims:
+        raise DimensionalityError(
+            f"expected a {dims}-dimensional point, got {point.shape[0]} dimensions"
+        )
+    return point
+
+
+def as_points(values, dims: int | None = None) -> np.ndarray:
+    """Coerce ``values`` into an ``(N, D)`` float64 matrix of points.
+
+    A single point is promoted to a one-row matrix.  ``dims`` is validated
+    like in :func:`as_point`.
+    """
+    points = np.ascontiguousarray(values, dtype=np.float64)
+    if points.ndim == 1:
+        points = points.reshape(1, -1)
+    if points.ndim != 2:
+        raise DimensionalityError(
+            f"expected an (N, D) array of points, got shape {points.shape}"
+        )
+    if dims is not None and points.shape[1] != dims:
+        raise DimensionalityError(
+            f"expected {dims}-dimensional points, got {points.shape[1]} dimensions"
+        )
+    return points
+
+
+def check_dims(actual: int, expected: int) -> None:
+    """Raise :class:`DimensionalityError` unless ``actual == expected``."""
+    if actual != expected:
+        raise DimensionalityError(
+            f"dimensionality mismatch: got {actual}, expected {expected}"
+        )
+
+
+def distance(a, b) -> float:
+    """Euclidean distance between two points."""
+    a = as_point(a)
+    b = as_point(b, dims=a.shape[0])
+    return float(np.linalg.norm(a - b))
+
+
+def squared_distances_to_many(point: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances from ``point`` to each row of ``points``.
+
+    This is the hot kernel of every node scan; it avoids the square root
+    until the caller actually needs metric distances.
+    """
+    diff = points - point
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def distances_to_many(point: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Euclidean distances from ``point`` to each row of ``points``."""
+    return np.sqrt(squared_distances_to_many(point, points))
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Condensed upper-triangle pairwise Euclidean distances.
+
+    Returns a 1-D array of length ``N * (N - 1) / 2`` holding the distance
+    of every unordered pair exactly once, in row-major upper-triangle
+    order.  Used by the Figure-17 distance-concentration analysis.
+    """
+    points = as_points(points)
+    n = points.shape[0]
+    if n < 2:
+        return np.empty(0, dtype=np.float64)
+    sq_norms = np.einsum("ij,ij->i", points, points)
+    gram = points @ points.T
+    sq = sq_norms[:, None] + sq_norms[None, :] - 2.0 * gram
+    iu = np.triu_indices(n, k=1)
+    return np.sqrt(np.maximum(sq[iu], 0.0))

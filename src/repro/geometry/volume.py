@@ -1,0 +1,83 @@
+"""Volume computations for high-dimensional regions.
+
+Hyper-rectangle and hyper-sphere volumes underflow or overflow float64
+quickly as the dimensionality grows (the unit-ball volume at D = 64 is
+about 1e-27, and a bounding sphere of radius 2 at D = 64 has volume
+2**64 times that).  The analysis code therefore works in the log domain;
+this module provides both linear and log-domain helpers.
+
+The volume of a D-ball of radius ``r`` is::
+
+    V(D, r) = pi**(D/2) / Gamma(D/2 + 1) * r**D
+
+which we evaluate via ``math.lgamma`` for numerical stability.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "log_unit_ball_volume",
+    "unit_ball_volume",
+    "log_sphere_volume",
+    "sphere_volume",
+    "log_rect_volume",
+    "rect_volume",
+]
+
+
+def log_unit_ball_volume(dims: int) -> float:
+    """Natural log of the volume of the unit ball in ``dims`` dimensions."""
+    if dims < 0:
+        raise ValueError(f"dimensionality must be non-negative, got {dims}")
+    if dims == 0:
+        return 0.0  # the 0-ball is a point with "volume" 1 by convention
+    return 0.5 * dims * math.log(math.pi) - math.lgamma(0.5 * dims + 1.0)
+
+
+def unit_ball_volume(dims: int) -> float:
+    """Volume of the unit ball in ``dims`` dimensions."""
+    return math.exp(log_unit_ball_volume(dims))
+
+
+def log_sphere_volume(dims: int, radius: float) -> float:
+    """Natural log of the volume of a ``dims``-ball of the given radius.
+
+    Returns ``-inf`` for a degenerate (zero-radius) sphere, matching the
+    convention that a point has zero volume.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if radius == 0.0:
+        return -math.inf
+    return log_unit_ball_volume(dims) + dims * math.log(radius)
+
+
+def sphere_volume(dims: int, radius: float) -> float:
+    """Volume of a ``dims``-ball of the given radius."""
+    log_vol = log_sphere_volume(dims, radius)
+    return 0.0 if log_vol == -math.inf else math.exp(log_vol)
+
+
+def log_rect_volume(low, high) -> float:
+    """Natural log of the volume of an axis-aligned box.
+
+    ``low`` and ``high`` are the per-dimension bounds.  Any degenerate
+    dimension (``high == low``) makes the volume zero, returned as
+    ``-inf``.
+    """
+    extents = np.asarray(high, dtype=np.float64) - np.asarray(low, dtype=np.float64)
+    if np.any(extents < 0):
+        raise ValueError("rectangle has high < low on some dimension")
+    if np.any(extents == 0):
+        return -math.inf
+    return float(np.sum(np.log(extents)))
+
+
+def rect_volume(low, high) -> float:
+    """Volume of an axis-aligned box with the given bounds."""
+    log_vol = log_rect_volume(low, high)
+    return 0.0 if log_vol == -math.inf else math.exp(log_vol)

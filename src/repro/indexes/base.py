@@ -1,0 +1,420 @@
+"""Shared index machinery: results, child entries, and the base class.
+
+:class:`SpatialIndex` owns the node store and provides everything common
+to all five index structures — metadata, tree walking, query entry
+points (delegating to :mod:`repro.search`), persistence, and statistics.
+Subclasses implement the construction algorithms and the per-family
+region mathematics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import EmptyIndexError
+from ..geometry import as_point
+from ..storage import (
+    DEFAULT_BUFFER_CAPACITY,
+    DEFAULT_LEAF_DATA_SIZE,
+    DEFAULT_PAGE_SIZE,
+    InternalNode,
+    IOStats,
+    LeafNode,
+    NodeLayout,
+    NodeStore,
+    PageFile,
+)
+
+__all__ = ["Neighbor", "Entry", "SpatialIndex"]
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One query result: a point, its payload, and its distance."""
+
+    distance: float
+    point: np.ndarray
+    value: object
+
+    def __iter__(self):
+        """Allow ``dist, point, value = neighbor`` unpacking."""
+        return iter((self.distance, self.point, self.value))
+
+
+@dataclass
+class Entry:
+    """A child entry in transit (reinsertion, orphan handling, splits).
+
+    For a data point, ``child_id`` is ``None``, ``point``/``value`` are
+    set, and the region fields degenerate to the point itself.  For a
+    subtree, ``child_id`` points at the child page and the region fields
+    describe it in whichever shapes the index family maintains.
+    """
+
+    child_id: int | None
+    center: np.ndarray
+    radius: float = 0.0
+    low: np.ndarray | None = None
+    high: np.ndarray | None = None
+    weight: int = 1
+    point: np.ndarray | None = None
+    value: object = None
+
+    @classmethod
+    def for_point(cls, point: np.ndarray, value: object) -> "Entry":
+        """Entry wrapping a raw data point."""
+        return cls(
+            child_id=None,
+            center=point,
+            radius=0.0,
+            low=point,
+            high=point,
+            weight=1,
+            point=point,
+            value=value,
+        )
+
+    @property
+    def is_point(self) -> bool:
+        return self.child_id is None
+
+
+@dataclass
+class _IndexConfig:
+    """Construction-time knobs shared by every index family."""
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    leaf_data_size: int = DEFAULT_LEAF_DATA_SIZE
+    buffer_capacity: int = DEFAULT_BUFFER_CAPACITY
+    min_utilization: float = 0.4
+    reinsert_fraction: float = 0.3
+    extras: dict = field(default_factory=dict)
+
+
+class SpatialIndex(ABC):
+    """Base class for every index structure in the library.
+
+    Subclasses declare their node-entry contents through the class
+    attributes ``HAS_RECTS`` / ``HAS_SPHERES`` / ``HAS_WEIGHTS`` (which
+    determine the page layout and therefore the fanout) and implement
+    the abstract construction/search hooks.
+    """
+
+    #: Human-readable name used by the benchmark harness.
+    NAME = "index"
+    HAS_RECTS = True
+    HAS_SPHERES = False
+    HAS_WEIGHTS = False
+
+    def __init__(
+        self,
+        dims: int,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        leaf_data_size: int = DEFAULT_LEAF_DATA_SIZE,
+        pagefile: PageFile | None = None,
+        buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
+        min_utilization: float = 0.4,
+        reinsert_fraction: float = 0.3,
+        stats: IOStats | None = None,
+    ) -> None:
+        self._layout = NodeLayout(
+            dims=dims,
+            has_rects=self.HAS_RECTS,
+            has_spheres=self.HAS_SPHERES,
+            has_weights=self.HAS_WEIGHTS,
+            page_size=page_size,
+            leaf_data_size=leaf_data_size,
+        )
+        self._store = NodeStore(self._layout, pagefile, buffer_capacity, stats)
+        self._config = _IndexConfig(
+            page_size=page_size,
+            leaf_data_size=leaf_data_size,
+            buffer_capacity=buffer_capacity,
+            min_utilization=min_utilization,
+            reinsert_fraction=reinsert_fraction,
+        )
+        self._size = 0
+        root = self._store.new_leaf()
+        self._root_id = root.page_id
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the indexed points."""
+        return self._layout.dims
+
+    @property
+    def size(self) -> int:
+        """Number of points currently stored."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels, counting the leaf level (a fresh index has 1)."""
+        return self._height
+
+    @property
+    def root_id(self) -> int:
+        """Page id of the root node."""
+        return self._root_id
+
+    @property
+    def store(self) -> NodeStore:
+        """The node store (exposes the buffer pool and I/O statistics)."""
+        return self._store
+
+    @property
+    def stats(self) -> IOStats:
+        """The live I/O and work counters for this index."""
+        return self._store.stats
+
+    @property
+    def layout(self) -> NodeLayout:
+        """Page layout (fanout) of this index."""
+        return self._layout
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum entries per leaf (the paper's Table 1 leaf column)."""
+        return self._layout.leaf_capacity
+
+    @property
+    def node_capacity(self) -> int:
+        """Maximum entries per internal node (the paper's Table 1 node column)."""
+        return self._layout.node_capacity
+
+    @property
+    def leaf_min_fill(self) -> int:
+        """Minimum entries in a non-root leaf (40 % utilization)."""
+        return self._layout.min_fill(self._layout.leaf_capacity,
+                                     self._config.min_utilization)
+
+    @property
+    def node_min_fill(self) -> int:
+        """Minimum entries in a non-root internal node."""
+        return self._layout.min_fill(self._layout.node_capacity,
+                                     self._config.min_utilization)
+
+    # ------------------------------------------------------------------
+    # abstract construction / search hooks
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def insert(self, point, value: object = None) -> None:
+        """Insert a point with an optional payload."""
+
+    def load(self, points, values=None) -> None:
+        """Insert many points one by one (values default to row indices)."""
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("load expects an (N, D) array of points")
+        if values is None:
+            values = range(points.shape[0])
+        for point, value in zip(points, values, strict=False):
+            self.insert(point, value)
+
+    @abstractmethod
+    def child_mindists(self, node: InternalNode, point: np.ndarray) -> np.ndarray:
+        """Lower-bound distance from ``point`` to each child region of ``node``.
+
+        This is the family-specific MINDIST that drives both the
+        branch-and-bound search (Section 4.4) and deletion lookups.
+        """
+
+    # ------------------------------------------------------------------
+    # queries (shared)
+    # ------------------------------------------------------------------
+
+    def nearest(self, point, k: int = 1,
+                algorithm: str = "depth-first") -> list[Neighbor]:
+        """The ``k`` nearest stored points, closest first.
+
+        ``algorithm="depth-first"`` (default) is the branch-and-bound
+        search of Roussopoulos, Kelley and Vincent, as used throughout
+        the paper; ``"best-first"`` is the I/O-optimal priority-queue
+        traversal of Hjaltason & Samet (an extension — see
+        :func:`repro.search.knn.knn_search_best_first`).  Both return
+        identical results.
+        """
+        from ..search.knn import knn_search, knn_search_best_first
+
+        if self._size == 0:
+            raise EmptyIndexError("cannot run a nearest-neighbor query on an empty index")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if algorithm == "depth-first":
+            return knn_search(self, as_point(point, self.dims), k)
+        if algorithm == "best-first":
+            return knn_search_best_first(self, as_point(point, self.dims), k)
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; use 'depth-first' or 'best-first'"
+        )
+
+    def within(self, point, radius: float) -> list[Neighbor]:
+        """All stored points within ``radius`` of ``point``, closest first."""
+        from ..search.range import range_search
+
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        return range_search(self, as_point(point, self.dims), float(radius))
+
+    def window(self, low, high) -> list[Neighbor]:
+        """All stored points inside the axis-aligned box ``[low, high]``."""
+        from ..search.window import window_search
+
+        return window_search(
+            self, as_point(low, self.dims), as_point(high, self.dims)
+        )
+
+    def lookup(self, point) -> list[object]:
+        """Exact-match point query: the payloads stored at ``point``.
+
+        Returns an empty list when the point is absent.  This is the
+        paper's Section 2.1 "point query": on the K-D-B-tree it follows
+        a single root-to-leaf path; on the overlapping-region trees it
+        may have to enter several subtrees.
+        """
+        point = as_point(point, self.dims)
+        return [n.value for n in self.window(point, point)]
+
+    def iter_nearest(self, point, max_distance: float = float("inf")):
+        """Lazily yield stored points in ascending distance from ``point``.
+
+        The incremental algorithm of Hjaltason & Samet: no ``k`` needed
+        up front, and only the pages required for the neighbors actually
+        consumed are read.  Optionally bounded by ``max_distance``.
+        """
+        from ..search.incremental import iter_nearest
+
+        return iter_nearest(self, as_point(point, self.dims), max_distance)
+
+    # ------------------------------------------------------------------
+    # walking
+    # ------------------------------------------------------------------
+
+    def read_node(self, page_id: int) -> LeafNode | InternalNode:
+        """Fetch a node through the buffer pool (counted I/O)."""
+        return self._store.read(page_id)
+
+    def iter_nodes(self) -> Iterator[LeafNode | InternalNode]:
+        """Depth-first iteration over every node, root first."""
+        stack = [self._root_id]
+        while stack:
+            node = self.read_node(stack.pop())
+            yield node
+            if not node.is_leaf:
+                stack.extend(int(c) for c in node.child_ids[: node.count])
+
+    def iter_leaves(self) -> Iterator[LeafNode]:
+        """Iterate over every leaf node."""
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                yield node
+
+    def iter_points(self) -> Iterator[tuple[np.ndarray, object]]:
+        """Iterate over every stored ``(point, value)`` pair."""
+        for leaf in self.iter_leaves():
+            for i in range(leaf.count):
+                yield leaf.points[i].copy(), leaf.values[i]
+
+    def leaf_count(self) -> int:
+        """Number of leaf nodes (denominator of Figure 16's access ratio)."""
+        return sum(1 for _ in self.iter_leaves())
+
+    def node_count(self) -> int:
+        """Number of internal nodes."""
+        return sum(1 for node in self.iter_nodes() if not node.is_leaf)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self) -> None:
+        """Flush all pages and persist index metadata to the meta page."""
+        meta = {
+            "index": type(self).NAME,
+            "class": f"{type(self).__module__}.{type(self).__qualname__}",
+            "dims": self.dims,
+            "page_size": self._config.page_size,
+            "leaf_data_size": self._config.leaf_data_size,
+            "min_utilization": self._config.min_utilization,
+            "reinsert_fraction": self._config.reinsert_fraction,
+            "root_id": self._root_id,
+            "height": self._height,
+            "size": self._size,
+        }
+        meta.update(self._extra_meta())
+        self._store.write_meta(meta)
+        self._store.flush()
+
+    def _extra_meta(self) -> dict:
+        """Subclass hook: extra metadata persisted with :meth:`save`."""
+        return {}
+
+    def _restore_extra(self, meta: dict) -> None:
+        """Subclass hook: restore state saved by :meth:`_extra_meta`."""
+
+    @classmethod
+    def open(cls, pagefile: PageFile,
+             buffer_capacity: int = DEFAULT_BUFFER_CAPACITY) -> "SpatialIndex":
+        """Re-open an index previously written with :meth:`save`.
+
+        The page file's meta page supplies every construction parameter;
+        the class must match the one that wrote the file.
+        """
+        probe_layout = NodeLayout(
+            dims=1,
+            has_rects=True,
+            has_spheres=False,
+            has_weights=False,
+            page_size=pagefile.page_size,
+        )
+        meta = NodeStore(probe_layout, pagefile, buffer_capacity).read_meta()
+        if meta["index"] != cls.NAME:
+            raise ValueError(
+                f"page file holds a {meta['index']!r} index, not {cls.NAME!r}"
+            )
+        index = cls.__new__(cls)
+        _restore(index, cls, pagefile, buffer_capacity, meta)
+        index._restore_extra(meta)
+        return index
+
+    def close(self) -> None:
+        """Save and close the backing page file."""
+        self.save()
+        self._store.close()
+
+
+def _restore(index: SpatialIndex, cls, pagefile, buffer_capacity, meta) -> None:
+    """Rebuild a live index object around an existing page file."""
+    index._layout = NodeLayout(
+        dims=meta["dims"],
+        has_rects=cls.HAS_RECTS,
+        has_spheres=cls.HAS_SPHERES,
+        has_weights=cls.HAS_WEIGHTS,
+        page_size=meta["page_size"],
+        leaf_data_size=meta["leaf_data_size"],
+    )
+    index._store = NodeStore(index._layout, pagefile, buffer_capacity)
+    index._config = _IndexConfig(
+        page_size=meta["page_size"],
+        leaf_data_size=meta["leaf_data_size"],
+        buffer_capacity=buffer_capacity,
+        min_utilization=meta["min_utilization"],
+        reinsert_fraction=meta["reinsert_fraction"],
+    )
+    index._root_id = meta["root_id"]
+    index._height = meta["height"]
+    index._size = meta["size"]

@@ -1,0 +1,93 @@
+"""Index registry used by the benchmark harness and the examples.
+
+Maps the short names the paper uses in its figures to the index
+classes, and provides a uniform "build an index over this data set"
+entry point that hides the static/dynamic construction difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SpatialIndex
+from .kdb import KDBTree
+from .linear import LinearScan
+from .rstar import RStarTree
+from .rtree import RTree
+from .srtree import SRTree
+from .srx import SRXTree
+from .sstree import SSTree
+from .vamsplit import VAMSplitRTree
+
+__all__ = ["INDEX_KINDS", "make_index", "build_index", "open_index"]
+
+INDEX_KINDS: dict[str, type[SpatialIndex]] = {
+    RTree.NAME: RTree,
+    RStarTree.NAME: RStarTree,
+    SSTree.NAME: SSTree,
+    SRTree.NAME: SRTree,
+    SRXTree.NAME: SRXTree,
+    KDBTree.NAME: KDBTree,
+    VAMSplitRTree.NAME: VAMSplitRTree,
+    LinearScan.NAME: LinearScan,
+}
+"""Registry of every index family, keyed by its short name."""
+
+
+def make_index(kind: str, dims: int, **kwargs) -> SpatialIndex:
+    """Instantiate an empty index of the given kind.
+
+    ``kind`` is one of ``rstar``, ``sstree``, ``srtree``, ``kdb``,
+    ``vamsplit``, or ``linear``; remaining keyword arguments are passed
+    to the index constructor (page size, buffer capacity, ...).
+    """
+    try:
+        cls = INDEX_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown index kind {kind!r}; choose from {sorted(INDEX_KINDS)}"
+        ) from None
+    return cls(dims, **kwargs)
+
+
+def build_index(kind: str, points, values=None, **kwargs) -> SpatialIndex:
+    """Build an index of the given kind over a complete data set.
+
+    Dynamic indexes insert the points one by one (as the paper's
+    experiments do); the static VAMSplit R-tree bulk-loads them.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("expected an (N, D) array of points")
+    index = make_index(kind, points.shape[1], **kwargs)
+    if isinstance(index, VAMSplitRTree):
+        index.build(points, values)
+    else:
+        index.load(points, values)
+    return index
+
+
+def open_index(path, buffer_capacity: int | None = None) -> SpatialIndex:
+    """Re-open a saved index from a page file on disk.
+
+    The index kind is read from the file's meta page, so callers do not
+    need to know which class wrote it.
+    """
+    from ..storage import DEFAULT_BUFFER_CAPACITY, FilePageFile, NodeLayout, NodeStore
+
+    pagefile = FilePageFile(path, create=False)
+    probe = NodeLayout(dims=1, has_rects=True, has_spheres=False,
+                       has_weights=False, page_size=pagefile.page_size)
+    meta = NodeStore(probe, pagefile).read_meta()
+    if meta["page_size"] != pagefile.page_size:
+        # The file was written with a non-default page size; reopen with
+        # the right geometry (the meta pickle is short enough to decode
+        # regardless of the probe's page size).
+        pagefile.close()
+        pagefile = FilePageFile(path, page_size=meta["page_size"], create=False)
+    try:
+        cls = INDEX_KINDS[meta["index"]]
+    except KeyError:
+        raise ValueError(f"file holds an unknown index kind {meta['index']!r}") from None
+    capacity = buffer_capacity if buffer_capacity else DEFAULT_BUFFER_CAPACITY
+    return cls.open(pagefile, buffer_capacity=capacity)

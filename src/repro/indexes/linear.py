@@ -1,0 +1,138 @@
+"""Linear scan: the exact brute-force baseline.
+
+Stores points in a flat chain of leaf pages and answers every query by
+reading all of them.  It is the ground truth the test suite verifies
+the tree indexes against, and the "no index" cost reference: its page
+reads per query equal the total number of leaf pages.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..exceptions import EmptyIndexError
+from ..geometry import as_point
+from ..search.knn import KnnCandidates
+from ..storage.nodes import InternalNode, LeafNode
+from .base import Neighbor, SpatialIndex
+
+__all__ = ["LinearScan"]
+
+
+class LinearScan(SpatialIndex):
+    """Brute-force index over a chain of leaf pages."""
+
+    NAME = "linear"
+    HAS_RECTS = True  # layout only; no internal nodes are ever created
+    HAS_SPHERES = False
+    HAS_WEIGHTS = False
+
+    def __init__(self, dims: int, **kwargs) -> None:
+        super().__init__(dims, **kwargs)
+        self._leaf_ids: list[int] = [self._root_id]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, point, value: object = None) -> None:
+        """Append a point to the tail page, opening a new page when full."""
+        point = as_point(point, self.dims)
+        tail = self.read_node(self._leaf_ids[-1])
+        if tail.count >= tail.capacity:
+            tail = self._store.new_leaf()
+            self._leaf_ids.append(tail.page_id)
+        tail.add(point.copy(), value)
+        self._store.write(tail)
+        self._size += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def nearest(self, point, k: int = 1) -> list[Neighbor]:
+        """Exact k nearest neighbors by scanning every page."""
+        if self._size == 0:
+            raise EmptyIndexError("cannot run a nearest-neighbor query on an empty index")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        point = as_point(point, self.dims)
+        candidates = KnnCandidates(k)
+        for leaf in self.iter_leaves():
+            if leaf.count == 0:
+                continue
+            pts = leaf.points[: leaf.count]
+            diff = pts - point
+            dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            self.stats.distance_computations += leaf.count
+            candidates.offer_batch(dists, pts, leaf.values)
+        return candidates.results()
+
+    def within(self, point, radius: float) -> list[Neighbor]:
+        """All points within ``radius``, closest first, by scanning every page."""
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        point = as_point(point, self.dims)
+        results: list[Neighbor] = []
+        for leaf in self.iter_leaves():
+            if leaf.count == 0:
+                continue
+            pts = leaf.points[: leaf.count]
+            diff = pts - point
+            dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            self.stats.distance_computations += leaf.count
+            for i in np.nonzero(dists <= radius)[0]:
+                results.append(
+                    Neighbor(float(dists[i]), pts[i].copy(), leaf.values[i])
+                )
+        results.sort(key=lambda n: n.distance)
+        return results
+
+    def window(self, low, high) -> list[Neighbor]:
+        """All points inside the box, by scanning every page."""
+        low = as_point(low, self.dims)
+        high = as_point(high, self.dims)
+        if np.any(low > high):
+            raise ValueError("window query has low > high on some dimension")
+        results: list[Neighbor] = []
+        for leaf in self.iter_leaves():
+            if leaf.count == 0:
+                continue
+            pts = leaf.points[: leaf.count]
+            inside = np.all(pts >= low, axis=1) & np.all(pts <= high, axis=1)
+            self.stats.distance_computations += leaf.count
+            for i in np.nonzero(inside)[0]:
+                results.append(Neighbor(0.0, pts[i].copy(), leaf.values[i]))
+        return results
+
+    def iter_nearest(self, point, max_distance: float = float("inf")):
+        """Yield points in ascending distance (computed eagerly by a scan)."""
+        point = as_point(point, self.dims)
+        neighbors = self.nearest(point, k=max(self._size, 1)) if self._size else []
+        for neighbor in neighbors:
+            if neighbor.distance > max_distance:
+                return
+            yield neighbor
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _extra_meta(self) -> dict:
+        return {"leaf_ids": list(self._leaf_ids)}
+
+    def _restore_extra(self, meta: dict) -> None:
+        self._leaf_ids = list(meta["leaf_ids"])
+
+    # ------------------------------------------------------------------
+    # walking
+    # ------------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[LeafNode]:
+        for page_id in self._leaf_ids:
+            yield self.read_node(page_id)
+
+    def child_mindists(self, node: InternalNode, point: np.ndarray) -> np.ndarray:
+        raise NotImplementedError("a linear scan has no internal nodes")

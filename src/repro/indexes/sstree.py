@@ -1,0 +1,178 @@
+"""The SS-tree (White & Jain, ICDE 1996).
+
+The sphere-based similarity index the paper improves upon.  Node regions
+are bounding spheres centered on the centroid of the underlying points;
+insertion picks the subtree with the nearest centroid; splits use the
+dimension with the highest coordinate variance; overflowing nodes shed
+entries through forced reinsertion unless a reinsertion has already
+been made at the same node (the SS-tree's variant of the R* mechanism,
+Section 2.3 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.sphere import mindist_point_spheres
+from ..storage.nodes import InternalNode, LeafNode
+from .base import Entry
+from .dynamic import DynamicTree
+
+__all__ = ["SSTree", "variance_split", "centroid_of_node"]
+
+Node = LeafNode | InternalNode
+
+
+class SSTree(DynamicTree):
+    """Dynamic SS-tree over points, with paged storage."""
+
+    NAME = "sstree"
+    HAS_RECTS = False
+    HAS_SPHERES = True
+    HAS_WEIGHTS = True
+
+    # ------------------------------------------------------------------
+    # ChooseSubtree: nearest centroid
+    # ------------------------------------------------------------------
+
+    def _choose_child(self, node: InternalNode, entry: Entry) -> int:
+        diff = node.centers[: node.count] - entry.center
+        return int(np.argmin(np.einsum("ij,ij->i", diff, diff)))
+
+    # ------------------------------------------------------------------
+    # Split: highest-variance dimension
+    # ------------------------------------------------------------------
+
+    def _split_indices(self, node: Node) -> tuple[np.ndarray, np.ndarray]:
+        if node.is_leaf:
+            coords = node.points[: node.count]
+            m = self.leaf_min_fill
+        else:
+            coords = node.centers[: node.count]
+            m = self.node_min_fill
+        return variance_split(coords, m)
+
+    # ------------------------------------------------------------------
+    # regions
+    # ------------------------------------------------------------------
+
+    def _entry_fields(self, node: Node) -> dict:
+        center, radius, weight = self._sphere_of(node)
+        return {"center": center, "radius": radius, "weight": weight}
+
+    def _sphere_of(self, node: Node) -> tuple[np.ndarray, float, int]:
+        """Centroid, radius, and weight of a node's bounding sphere.
+
+        For a leaf the center is the centroid of its points; for an
+        internal node it is the weighted centroid of the child centroids
+        (weights being subtree point counts), and the radius reaches the
+        farthest point of any child sphere — the SS-tree's update rule,
+        which the SR-tree then tightens (see
+        :meth:`SRTree._entry_fields <repro.indexes.srtree.SRTree._entry_fields>`).
+        """
+        if node.is_leaf:
+            pts = node.points[: node.count]
+            center = pts.mean(axis=0)
+            diff = pts - center
+            radius = float(np.sqrt(np.max(np.einsum("ij,ij->i", diff, diff))))
+            return center, radius, node.count
+        n = node.count
+        weights = node.weights[:n].astype(np.float64)
+        total = weights.sum()
+        center = (node.centers[:n] * weights[:, None]).sum(axis=0) / total
+        diff = node.centers[:n] - center
+        gaps = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        radius = float(np.max(gaps + node.radii[:n]))
+        return center, radius, int(total)
+
+    def child_mindists(self, node: InternalNode, point: np.ndarray) -> np.ndarray:
+        n = node.count
+        return mindist_point_spheres(point, node.centers[:n], node.radii[:n])
+
+    # ------------------------------------------------------------------
+    # forced reinsertion
+    # ------------------------------------------------------------------
+
+    def _should_reinsert(self, node: Node, is_root: bool) -> bool:
+        # Unless a reinsertion has been made at this same node (paper
+        # Section 2.3); the flag is cleared when the node splits.
+        return not node.reinserted
+
+    def _mark_reinserted(self, node: Node) -> None:
+        node.reinserted = True
+
+    def _reinsert_indices(self, node: Node, count: int) -> np.ndarray:
+        center = centroid_of_node(node)
+        if node.is_leaf:
+            coords = node.points[: node.count]
+        else:
+            coords = node.centers[: node.count]
+        diff = coords - center
+        dists = np.einsum("ij,ij->i", diff, diff)
+        order = np.argsort(dists, kind="stable")
+        # Evict the farthest entries; reinsert the closest of them first.
+        return order[-count:]
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def _check_parent_entry(self, parent: InternalNode, slot: int, child: Node) -> None:
+        from ..exceptions import InvariantViolationError
+
+        center = parent.centers[slot]
+        radius = float(parent.radii[slot])
+        if child.is_leaf:
+            diff = child.points[: child.count] - center
+            reach = float(np.sqrt(np.max(np.einsum("ij,ij->i", diff, diff))))
+        else:
+            diff = child.centers[: child.count] - center
+            gaps = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            reach = float(np.max(gaps + child.radii[: child.count]))
+        if reach > radius + 1e-9:
+            raise InvariantViolationError(
+                f"parent {parent.page_id} entry {slot} sphere (r={radius:.6g}) "
+                f"does not cover child {child.page_id} (reach {reach:.6g})"
+            )
+
+
+def centroid_of_node(node: Node) -> np.ndarray:
+    """Centroid of a node's contents (weighted for internal nodes)."""
+    if node.is_leaf:
+        return node.points[: node.count].mean(axis=0)
+    weights = node.weights[: node.count].astype(np.float64)
+    return (node.centers[: node.count] * weights[:, None]).sum(axis=0) / weights.sum()
+
+
+def variance_split(coords: np.ndarray, m: int) -> tuple[np.ndarray, np.ndarray]:
+    """The SS-tree split of ``n`` coordinate rows into two groups.
+
+    Chooses the dimension with the highest coordinate variance, then the
+    split position (among those leaving at least ``m`` entries on each
+    side) that minimizes the summed variance of the two groups along
+    that dimension.
+    """
+    n = coords.shape[0]
+    if not 1 <= m <= n // 2:
+        m = max(1, min(m, n // 2))
+    dim = int(np.argmax(np.var(coords, axis=0)))
+    order = np.argsort(coords[:, dim], kind="stable")
+    line = coords[order, dim]
+
+    prefix = np.cumsum(line)
+    prefix_sq = np.cumsum(line * line)
+    total, total_sq = prefix[-1], prefix_sq[-1]
+
+    best_cost = np.inf
+    best_k = m
+    for k in range(m, n - m + 1):
+        sum_a, sq_a = prefix[k - 1], prefix_sq[k - 1]
+        sum_b, sq_b = total - sum_a, total_sq - sq_a
+        var_a = sq_a / k - (sum_a / k) ** 2
+        count_b = n - k
+        var_b = sq_b / count_b - (sum_b / count_b) ** 2
+        cost = var_a + var_b
+        if cost < best_cost:
+            best_cost = cost
+            best_k = k
+    return order[:best_k].copy(), order[best_k:].copy()

@@ -1,0 +1,156 @@
+"""Depth-first branch-and-bound k-nearest-neighbor search.
+
+This is the algorithm of Roussopoulos, Kelley and Vincent ("Nearest
+Neighbor Queries", SIGMOD 1995), which the paper uses for every index
+structure (Section 4.4):
+
+1. traverse the tree depth-first, visiting children in order of their
+   MINDIST from the query point (the *active branch list*);
+2. maintain the ``k`` best candidates found so far in a max-heap;
+3. prune any subtree whose MINDIST exceeds the current ``k``-th best
+   distance.
+
+The only index-specific ingredient is the MINDIST from a point to a
+child region, supplied by ``index.child_mindists`` — rectangles for the
+R*-tree family, spheres for the SS-tree, and the combined
+``max(sphere, rect)`` bound for the SR-tree.
+
+Distance computations are tallied into the index's
+:class:`~repro.storage.stats.IOStats` as a machine-independent CPU-cost
+proxy; physical page reads are counted by the node store itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+import numpy as np
+
+from ..indexes.base import Neighbor
+
+__all__ = ["knn_search", "knn_search_best_first", "KnnCandidates"]
+
+
+class KnnCandidates:
+    """A bounded max-heap of the best ``k`` candidates seen so far."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        # Heap items are (-distance, tiebreak, point, value): heapq is a
+        # min-heap, so the worst candidate sits at index 0.
+        self._heap: list[tuple[float, int, np.ndarray, object]] = []
+        self._tiebreak = count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def bound(self) -> float:
+        """Current pruning distance: the k-th best, or +inf while filling."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def offer(self, distance: float, point: np.ndarray, value: object) -> None:
+        """Consider one candidate."""
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, next(self._tiebreak), point, value))
+        elif distance < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-distance, next(self._tiebreak), point, value))
+
+    def offer_batch(self, distances: np.ndarray, points: np.ndarray, values) -> None:
+        """Consider a leaf's worth of candidates at once."""
+        bound = self.bound
+        for i in np.argsort(distances, kind="stable"):
+            d = float(distances[i])
+            if d >= bound and len(self._heap) >= self.k:
+                break
+            self.offer(d, points[i].copy(), values[i])
+            bound = self.bound
+
+    def results(self) -> list[Neighbor]:
+        """The candidates as :class:`Neighbor` objects, closest first."""
+        ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [Neighbor(-d, point, value) for d, _, point, value in ordered]
+
+
+def knn_search(index, point: np.ndarray, k: int) -> list[Neighbor]:
+    """Find the ``k`` nearest points to ``point`` in ``index``.
+
+    Returns at most ``k`` :class:`Neighbor` results sorted by ascending
+    distance (fewer when the index holds fewer than ``k`` points).
+    """
+    candidates = KnnCandidates(k)
+    stats = index.stats
+    _visit(index, index.root_id, point, candidates, stats)
+    return candidates.results()
+
+
+def knn_search_best_first(index, point: np.ndarray, k: int) -> list[Neighbor]:
+    """Best-first k-NN (Hjaltason & Samet's incremental algorithm).
+
+    An extension beyond the paper: instead of the depth-first traversal
+    of Roussopoulos et al. (which the paper uses, and which
+    :func:`knn_search` implements), maintain one global priority queue
+    of subtrees ordered by MINDIST and always expand the closest.  This
+    is *I/O-optimal* for a given tree — it reads exactly the pages whose
+    region MINDIST is below the k-th-neighbor distance — so it lower
+    bounds the reads of any correct traversal and makes a good ablation
+    reference (``benchmarks/test_ablation_search_algorithm.py``).
+
+    Returns the same results as :func:`knn_search`.
+    """
+    candidates = KnnCandidates(k)
+    stats = index.stats
+    tiebreak = count()
+    # Queue items: (mindist, tiebreak, page_id).
+    queue: list[tuple[float, int, int]] = [(0.0, next(tiebreak), index.root_id)]
+    while queue:
+        dist, _, page_id = heapq.heappop(queue)
+        if dist > candidates.bound:
+            break  # every remaining subtree is farther than the k-th best
+        node = index.read_node(page_id)
+        if node.is_leaf:
+            if node.count == 0:
+                continue
+            pts = node.points[: node.count]
+            diff = pts - point
+            dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            stats.distance_computations += node.count
+            candidates.offer_batch(dists, pts, node.values)
+            continue
+        child_dists = index.child_mindists(node, point)
+        stats.distance_computations += node.count
+        bound = candidates.bound
+        for i in range(node.count):
+            if child_dists[i] <= bound:
+                heapq.heappush(
+                    queue,
+                    (float(child_dists[i]), next(tiebreak), int(node.child_ids[i])),
+                )
+    return candidates.results()
+
+
+def _visit(index, page_id: int, point: np.ndarray, candidates: KnnCandidates,
+           stats) -> None:
+    node = index.read_node(page_id)
+    if node.is_leaf:
+        if node.count == 0:
+            return
+        pts = node.points[: node.count]
+        diff = pts - point
+        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        stats.distance_computations += node.count
+        candidates.offer_batch(dists, pts, node.values)
+        return
+
+    dists = index.child_mindists(node, point)
+    stats.distance_computations += node.count
+    order = np.argsort(dists, kind="stable")
+    for i in order:
+        # Children are visited in MINDIST order, so once one exceeds the
+        # current bound every later one does too.
+        if dists[i] > candidates.bound:
+            break
+        _visit(index, int(node.child_ids[i]), point, candidates, stats)

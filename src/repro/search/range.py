@@ -1,0 +1,42 @@
+"""Range (ball) queries: every point within a radius of the query.
+
+The traversal prunes a subtree as soon as its region MINDIST exceeds
+the query radius, using the same per-family MINDIST as the k-NN search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..indexes.base import Neighbor
+
+__all__ = ["range_search"]
+
+
+def range_search(index, point: np.ndarray, radius: float) -> list[Neighbor]:
+    """All stored points with Euclidean distance <= ``radius``, closest first."""
+    results: list[Neighbor] = []
+    _visit(index, index.root_id, point, radius, results)
+    results.sort(key=lambda n: n.distance)
+    return results
+
+
+def _visit(index, page_id: int, point: np.ndarray, radius: float,
+           results: list[Neighbor]) -> None:
+    node = index.read_node(page_id)
+    stats = index.stats
+    if node.is_leaf:
+        if node.count == 0:
+            return
+        pts = node.points[: node.count]
+        diff = pts - point
+        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        stats.distance_computations += node.count
+        for i in np.nonzero(dists <= radius)[0]:
+            results.append(Neighbor(float(dists[i]), pts[i].copy(), node.values[i]))
+        return
+
+    dists = index.child_mindists(node, point)
+    stats.distance_computations += node.count
+    for i in np.nonzero(dists <= radius)[0]:
+        _visit(index, int(node.child_ids[i]), point, radius, results)

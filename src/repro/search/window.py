@@ -1,0 +1,68 @@
+"""Window (axis-aligned rectangle) queries.
+
+The classic multidimensional range query: report every stored point
+inside a query box.  A subtree is pruned when its region provably
+misses the box — rectangle regions by rectangle intersection, sphere
+regions when the sphere's center is farther from the box than its
+radius, SR regions when either shape misses (the same complementary
+pruning as the paper's nearest-neighbor MINDIST rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..indexes.base import Neighbor
+
+__all__ = ["window_search", "child_window_mask"]
+
+
+def child_window_mask(node, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+    """Boolean mask of child regions that may intersect the query box.
+
+    Works for every index family from the arrays the node carries:
+    rectangle entries use rect-rect intersection; sphere entries check
+    ``MINDIST(center, box) <= radius``; entries with both shapes must
+    pass both tests (their region is the intersection).
+    """
+    n = node.count
+    mask = np.ones(n, dtype=bool)
+    if node.lows is not None:
+        lows = node.lows[:n]
+        highs = node.highs[:n]
+        mask &= np.all(lows <= high, axis=1) & np.all(highs >= low, axis=1)
+    if node.centers is not None:
+        centers = node.centers[:n]
+        delta = np.maximum(np.maximum(low - centers, centers - high), 0.0)
+        gaps = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+        mask &= gaps <= node.radii[:n]
+    return mask
+
+
+def window_search(index, low: np.ndarray, high: np.ndarray) -> list[Neighbor]:
+    """All stored points with ``low <= p <= high`` on every dimension.
+
+    Results carry distance 0 (a window query has no query point); they
+    are ordered by traversal and can be sorted by the caller as needed.
+    """
+    if np.any(low > high):
+        raise ValueError("window query has low > high on some dimension")
+    results: list[Neighbor] = []
+    stack = [index.root_id]
+    stats = index.stats
+    while stack:
+        node = index.read_node(stack.pop())
+        if node.is_leaf:
+            if node.count == 0:
+                continue
+            pts = node.points[: node.count]
+            inside = np.all(pts >= low, axis=1) & np.all(pts <= high, axis=1)
+            stats.distance_computations += node.count
+            for i in np.nonzero(inside)[0]:
+                results.append(Neighbor(0.0, pts[i].copy(), node.values[i]))
+            continue
+        mask = child_window_mask(node, low, high)
+        stats.distance_computations += node.count
+        for i in np.nonzero(mask)[0]:
+            stack.append(int(node.child_ids[i]))
+    return results

@@ -1,0 +1,40 @@
+"""Paged storage engine.
+
+This package is the "disk" of the reproduction: fixed-size pages
+(default 8192 bytes, as in the paper), binary node serialization whose
+entry sizes reproduce the paper's fanouts, an LRU buffer pool with pin
+counts, and read/write counters split by tree level.  Every index family
+performs all node I/O through a :class:`~repro.storage.store.NodeStore`,
+which makes the "number of disk reads" metric directly comparable across
+index structures.
+"""
+
+from .buffer import BufferPool
+from .constants import (
+    DEFAULT_LEAF_DATA_SIZE,
+    DEFAULT_PAGE_SIZE,
+    META_PAGE_ID,
+)
+from .layout import NodeLayout
+from .nodes import InternalNode, LeafNode
+from .pagefile import FilePageFile, InMemoryPageFile, PageFile
+from .serializer import NodeCodec
+from .stats import IOStats
+from .store import DEFAULT_BUFFER_CAPACITY, NodeStore
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_BUFFER_CAPACITY",
+    "DEFAULT_LEAF_DATA_SIZE",
+    "DEFAULT_PAGE_SIZE",
+    "FilePageFile",
+    "IOStats",
+    "InMemoryPageFile",
+    "InternalNode",
+    "LeafNode",
+    "META_PAGE_ID",
+    "NodeCodec",
+    "NodeLayout",
+    "NodeStore",
+    "PageFile",
+]

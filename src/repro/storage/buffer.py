@@ -1,0 +1,151 @@
+"""LRU buffer pool.
+
+The buffer pool sits between the trees and the page file.  It caches
+*deserialized node objects* keyed by page id (a real DBMS buffer caches
+raw frames, but its pages are directly usable in place; caching the
+decoded object models the same thing without re-decoding on every hit).
+
+Accounting: a buffer miss costs one physical page read, an eviction of a
+dirty frame (or a flush) costs one physical page write.  Those physical
+transfers are what the paper reports as "disk reads" / "disk accesses";
+they are counted by the :class:`~repro.storage.store.NodeStore` wrapping
+this pool, which also splits them by tree level.
+
+Frames can be *pinned* while a tree operation holds a reference to the
+node object; pinned frames are never evicted, so in-flight mutations are
+never lost to a concurrent eviction + re-read.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+
+from ..exceptions import BufferPinError
+from .nodes import InternalNode, LeafNode
+
+__all__ = ["BufferPool"]
+
+Node = LeafNode | InternalNode
+
+
+class _Frame:
+    __slots__ = ("node", "dirty", "pins")
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.dirty = False
+        self.pins = 0
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of node objects with pin counts.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of frames.  Must comfortably exceed the tree
+        height plus the reinsertion working set; 64 is a safe floor.
+    write_back:
+        Callback ``(node) -> None`` invoked when a dirty frame leaves the
+        pool (eviction or flush); the node store uses it to serialize the
+        node into the page file and count the physical write.
+    """
+
+    def __init__(self, capacity: int, write_back: Callable[[Node], None]) -> None:
+        if capacity < 8:
+            raise ValueError(f"buffer capacity must be at least 8 frames, got {capacity}")
+        self.capacity = capacity
+        self._write_back = write_back
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def get(self, page_id: int) -> Node | None:
+        """Return the cached node and refresh its recency, or ``None``."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._frames.move_to_end(page_id)
+        return frame.node
+
+    def put(self, node: Node, *, dirty: bool) -> None:
+        """Install (or refresh) a frame for ``node``, evicting if needed."""
+        frame = self._frames.get(node.page_id)
+        if frame is not None:
+            # Re-installing after an out-of-pool mutation: adopt the caller's
+            # object, which is the authoritative current state.
+            frame.node = node
+            frame.dirty = frame.dirty or dirty
+            self._frames.move_to_end(node.page_id)
+            return
+        self._evict_to(self.capacity - 1)
+        new_frame = _Frame(node)
+        new_frame.dirty = dirty
+        self._frames[node.page_id] = new_frame
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Flag a cached page as modified (no-op if not cached)."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            frame.dirty = True
+
+    def pin(self, page_id: int) -> None:
+        """Protect a frame from eviction until unpinned."""
+        self._frames[page_id].pins += 1
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin; frames may be unpinned below zero by bugs, so clamp."""
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.pins > 0:
+            frame.pins -= 1
+
+    def discard(self, page_id: int) -> None:
+        """Drop a frame without writing it back (the page was freed)."""
+        self._frames.pop(page_id, None)
+
+    def flush(self) -> int:
+        """Write back every dirty frame; returns the number written."""
+        written = 0
+        for frame in self._frames.values():
+            if frame.dirty:
+                self._write_back(frame.node)
+                frame.dirty = False
+                written += 1
+        return written
+
+    def clear(self) -> None:
+        """Flush and drop every frame (pins are ignored: caller owns the pool)."""
+        self.flush()
+        self._frames.clear()
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over the cached node objects (for diagnostics)."""
+        for frame in self._frames.values():
+            yield frame.node
+
+    def _evict_to(self, target: int) -> None:
+        if len(self._frames) <= target:
+            return
+        for page_id in list(self._frames):
+            if len(self._frames) <= target:
+                return
+            frame = self._frames[page_id]
+            if frame.pins > 0:
+                continue
+            if frame.dirty:
+                self._write_back(frame.node)
+            del self._frames[page_id]
+        if len(self._frames) > target:
+            raise BufferPinError(
+                f"all {len(self._frames)} buffered frames are pinned; "
+                "increase the buffer capacity"
+            )

@@ -1,0 +1,182 @@
+"""Page files: fixed-size-block storage backends.
+
+A page file is the "disk" of the storage engine: a flat array of
+fixed-size pages addressed by integer page ids.  Two backends are
+provided:
+
+* :class:`InMemoryPageFile` — a dict of byte strings; fast, used by tests
+  and the benchmark harness (the paper's disk-read counts are page-fetch
+  counts, which this backend reproduces exactly);
+* :class:`FilePageFile` — a real file on disk, page ``i`` at byte offset
+  ``i * page_size``, giving genuine persistence (see
+  ``examples/persistence.py``).
+
+Page 0 is reserved for index metadata (see
+:data:`repro.storage.constants.META_PAGE_ID`); the allocators never hand
+it out.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+
+from ..exceptions import PageNotFoundError, PageOverflowError
+from .constants import DEFAULT_PAGE_SIZE, META_PAGE_ID
+
+__all__ = ["PageFile", "InMemoryPageFile", "FilePageFile"]
+
+
+class PageFile(ABC):
+    """Abstract fixed-size-page storage backend."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size < 64:
+            raise ValueError(f"page size too small: {page_size}")
+        self._page_size = page_size
+        self._free: list[int] = []
+        self._next_id = META_PAGE_ID + 1
+
+    @property
+    def page_size(self) -> int:
+        """Size of every page in bytes."""
+        return self._page_size
+
+    def allocate(self) -> int:
+        """Return a fresh (or recycled) page id.
+
+        The page's content is undefined until the first write.
+        """
+        if self._free:
+            return self._free.pop()
+        page_id = self._next_id
+        self._next_id += 1
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Release a page id for reuse by later allocations."""
+        self._check_id(page_id)
+        self._discard(page_id)
+        self._free.append(page_id)
+
+    def _check_id(self, page_id: int) -> None:
+        if page_id != META_PAGE_ID and not (0 < page_id < self._next_id):
+            raise PageNotFoundError(page_id)
+
+    def _check_data(self, data: bytes) -> None:
+        if len(data) > self._page_size:
+            raise PageOverflowError(
+                f"page image is {len(data)} bytes, page size is {self._page_size}"
+            )
+
+    @property
+    def allocated_pages(self) -> int:
+        """Number of pages currently allocated (excluding the meta page)."""
+        return self._next_id - 1 - len(self._free)
+
+    @abstractmethod
+    def read(self, page_id: int) -> bytes:
+        """Return the current content of a page."""
+
+    @abstractmethod
+    def write(self, page_id: int, data: bytes) -> None:
+        """Replace the content of a page (short images are zero-padded)."""
+
+    @abstractmethod
+    def _discard(self, page_id: int) -> None:
+        """Backend hook invoked when a page is freed."""
+
+    def sync(self) -> None:  # noqa: B027  (optional hook, default no-op)
+        """Flush backend buffers to durable storage (no-op in memory)."""
+
+    def close(self) -> None:  # noqa: B027
+        """Release backend resources (no-op in memory)."""
+
+
+class InMemoryPageFile(PageFile):
+    """A page file held entirely in process memory."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._pages: dict[int, bytes] = {}
+
+    def read(self, page_id: int) -> bytes:
+        self._check_id(page_id)
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(page_id) from None
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check_id(page_id)
+        self._check_data(data)
+        self._pages[page_id] = bytes(data)
+
+    def _discard(self, page_id: int) -> None:
+        self._pages.pop(page_id, None)
+
+
+class FilePageFile(PageFile):
+    """A page file backed by a real file on disk.
+
+    Page ``i`` lives at byte offset ``i * page_size``.  The free list is
+    kept in memory only; an index that wants durable metadata stores it
+    in the reserved meta page (page 0).
+    """
+
+    def __init__(self, path: str | os.PathLike, page_size: int = DEFAULT_PAGE_SIZE,
+                 create: bool = True) -> None:
+        super().__init__(page_size)
+        self._path = os.fspath(path)
+        exists = os.path.exists(self._path)
+        if not exists and not create:
+            raise FileNotFoundError(self._path)
+        mode = "r+b" if exists else "w+b"
+        self._file = open(self._path, mode)
+        if exists:
+            size = os.path.getsize(self._path)
+            self._next_id = max(META_PAGE_ID + 1, size // page_size)
+        else:
+            # Reserve the meta page immediately so offsets are stable.
+            self._file.write(b"\x00" * page_size)
+            self._file.flush()
+
+    @property
+    def path(self) -> str:
+        """Filesystem path of the backing file."""
+        return self._path
+
+    def read(self, page_id: int) -> bytes:
+        self._check_id(page_id)
+        self._file.seek(page_id * self._page_size)
+        data = self._file.read(self._page_size)
+        if len(data) < self._page_size:
+            raise PageNotFoundError(page_id)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        self._check_id(page_id)
+        self._check_data(data)
+        if len(data) < self._page_size:
+            data = data + b"\x00" * (self._page_size - len(data))
+        self._file.seek(page_id * self._page_size)
+        self._file.write(data)
+
+    def _discard(self, page_id: int) -> None:
+        # Disk pages keep their stale bytes until reallocated; nothing to do.
+        pass
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "FilePageFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

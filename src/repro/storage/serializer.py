@@ -1,0 +1,226 @@
+"""Binary page codec: node objects <-> fixed-size page images.
+
+Every node is serialized into a single page.  The byte layout follows
+:class:`~repro.storage.layout.NodeLayout`:
+
+* header: kind (u8), flags (u8), level (u16), count (u32) — 8 bytes;
+* leaf body: ``count`` points as contiguous float64, then ``count``
+  fixed-width data areas, each holding a 4-byte length prefix and the
+  pickled payload, zero-padded to ``leaf_data_size``;
+* internal body: ``count`` child pointers (u32), then the optional
+  weights (u32), rectangle bounds (2 x D float64), and sphere
+  center/radius (D + 1 float64) blocks in that order.
+
+The encoder asserts that the resulting image fits the page — by
+construction it always does when ``count <= capacity``, and a node caught
+mid-overflow (``count == capacity + 1``) is a programming error to
+persist, reported as :class:`~repro.exceptions.PageOverflowError`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import numpy as np
+
+from ..exceptions import PageOverflowError, SerializationError
+from .layout import NodeLayout
+from .nodes import InternalNode, LeafNode
+
+__all__ = ["NodeCodec"]
+
+_HEADER = struct.Struct("<BBHIHH")  # kind, flags, level, count, extent, reserved
+_KIND_LEAF = 0
+_KIND_INTERNAL = 1
+_FLAG_REINSERTED = 0x01
+_LEN_PREFIX = struct.Struct("<I")
+_PAGE_ID = struct.Struct("<I")
+
+
+class NodeCodec:
+    """Encodes and decodes nodes of one index family."""
+
+    def __init__(self, layout: NodeLayout) -> None:
+        self.layout = layout
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def encode(self, node: LeafNode | InternalNode) -> bytes:
+        """Serialize a node into an image of at most ``extent`` pages."""
+        if node.is_leaf:
+            capacity = self.layout.leaf_capacity
+        else:
+            capacity = self.layout.node_capacity_for(node.extent)
+        if node.count > capacity:
+            raise PageOverflowError(
+                f"cannot persist node {node.page_id} with {node.count} entries "
+                f"(capacity {capacity}): split it first"
+            )
+        flags = _FLAG_REINSERTED if node.reinserted else 0
+        if node.is_leaf:
+            body = self._encode_leaf_body(node)
+            header = _HEADER.pack(_KIND_LEAF, flags, 0, node.count, 1, 0)
+            continuation = b""
+        else:
+            body = self._encode_internal_body(node)
+            header = _HEADER.pack(
+                _KIND_INTERNAL, flags, node.level, node.count, node.extent, 0
+            )
+            continuation = b"".join(
+                _PAGE_ID.pack(page) for page in node.extra_pages
+            )
+        image = header + continuation + body
+        if len(image) > self.layout.page_size * node.extent:
+            raise PageOverflowError(
+                f"node {node.page_id} serialized to {len(image)} bytes, "
+                f"extent is {node.extent} pages of {self.layout.page_size}"
+            )
+        return image
+
+    @staticmethod
+    def peek_extent(first_page: bytes) -> tuple[int, list[int]]:
+        """Extent and continuation page ids from a node's first page.
+
+        The node store uses this to know which further pages to fetch
+        before :meth:`decode` can run on the assembled image.
+        """
+        if len(first_page) < _HEADER.size:
+            raise SerializationError("page image too short to hold a header")
+        _, _, _, _, extent, _ = _HEADER.unpack_from(first_page)
+        extras = []
+        offset = _HEADER.size
+        for _ in range(extent - 1):
+            (page,) = _PAGE_ID.unpack_from(first_page, offset)
+            extras.append(page)
+            offset += _PAGE_ID.size
+        return extent, extras
+
+    def _encode_leaf_body(self, leaf: LeafNode) -> bytes:
+        parts = [leaf.points[: leaf.count].tobytes()]
+        area = self.layout.leaf_data_size
+        for value in leaf.values:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(payload) + _LEN_PREFIX.size > area:
+                raise SerializationError(
+                    f"leaf payload pickles to {len(payload)} bytes; the data "
+                    f"area is {area} bytes (including a 4-byte length prefix)"
+                )
+            slot = _LEN_PREFIX.pack(len(payload)) + payload
+            parts.append(slot.ljust(area, b"\x00"))
+        return b"".join(parts)
+
+    def _encode_internal_body(self, node: InternalNode) -> bytes:
+        n = node.count
+        parts = [node.child_ids[:n].astype(np.uint32).tobytes()]
+        if node.weights is not None:
+            parts.append(node.weights[:n].astype(np.uint32).tobytes())
+        if node.lows is not None:
+            parts.append(node.lows[:n].tobytes())
+            parts.append(node.highs[:n].tobytes())
+        if node.centers is not None:
+            parts.append(node.centers[:n].tobytes())
+            parts.append(node.radii[:n].tobytes())
+        return b"".join(parts)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    def decode(self, page_id: int, data: bytes) -> LeafNode | InternalNode:
+        """Reconstruct a node from its (possibly multi-page) image."""
+        if len(data) < _HEADER.size:
+            raise SerializationError(f"page {page_id}: image too short to hold a header")
+        kind, flags, level, count, extent, _ = _HEADER.unpack_from(data)
+        extras = []
+        offset = _HEADER.size
+        if kind == _KIND_INTERNAL and extent > 1:
+            for _ in range(extent - 1):
+                (page,) = _PAGE_ID.unpack_from(data, offset)
+                extras.append(page)
+                offset += _PAGE_ID.size
+        body = data[offset:]
+        if kind == _KIND_LEAF:
+            node = self._decode_leaf(page_id, count, body)
+        elif kind == _KIND_INTERNAL:
+            node = self._decode_internal(page_id, level, count, body, extent)
+            node.extra_pages = extras
+        else:
+            raise SerializationError(f"page {page_id}: unknown node kind {kind}")
+        node.reinserted = bool(flags & _FLAG_REINSERTED)
+        return node
+
+    def _decode_leaf(self, page_id: int, count: int, body: bytes) -> LeafNode:
+        dims = self.layout.dims
+        if count > self.layout.leaf_capacity:
+            raise SerializationError(
+                f"page {page_id}: leaf count {count} exceeds capacity"
+            )
+        leaf = LeafNode(page_id, dims, self.layout.leaf_capacity)
+        point_bytes = 8 * dims * count
+        area = self.layout.leaf_data_size
+        needed = point_bytes + area * count
+        if len(body) < needed:
+            raise SerializationError(f"page {page_id}: truncated leaf body")
+        if count:
+            pts = np.frombuffer(body, dtype=np.float64, count=dims * count)
+            leaf.points[:count] = pts.reshape(count, dims)
+        offset = point_bytes
+        for _ in range(count):
+            (length,) = _LEN_PREFIX.unpack_from(body, offset)
+            start = offset + _LEN_PREFIX.size
+            if length > area - _LEN_PREFIX.size:
+                raise SerializationError(f"page {page_id}: corrupt payload length")
+            try:
+                leaf.values.append(pickle.loads(body[start : start + length]))
+            except Exception as exc:  # pickle raises many types
+                raise SerializationError(
+                    f"page {page_id}: payload failed to unpickle: {exc}"
+                ) from exc
+            offset += area
+        leaf.count = count
+        return leaf
+
+    def _decode_internal(
+        self, page_id: int, level: int, count: int, body: bytes, extent: int = 1
+    ) -> InternalNode:
+        layout = self.layout
+        dims = layout.dims
+        capacity = layout.node_capacity_for(extent)
+        if count > capacity:
+            raise SerializationError(
+                f"page {page_id}: node count {count} exceeds capacity"
+            )
+        node = InternalNode(
+            page_id,
+            dims,
+            capacity,
+            level,
+            has_rects=layout.has_rects,
+            has_spheres=layout.has_spheres,
+            has_weights=layout.has_weights,
+        )
+        offset = 0
+
+        def take(dtype, items: int) -> np.ndarray:
+            nonlocal offset
+            arr = np.frombuffer(body, dtype=dtype, count=items, offset=offset)
+            offset += arr.nbytes
+            return arr
+
+        try:
+            node.child_ids[:count] = take(np.uint32, count)
+            if layout.has_weights:
+                node.weights[:count] = take(np.uint32, count)
+            if layout.has_rects:
+                node.lows[:count] = take(np.float64, count * dims).reshape(count, dims)
+                node.highs[:count] = take(np.float64, count * dims).reshape(count, dims)
+            if layout.has_spheres:
+                node.centers[:count] = take(np.float64, count * dims).reshape(count, dims)
+                node.radii[:count] = take(np.float64, count)
+        except ValueError as exc:
+            raise SerializationError(f"page {page_id}: truncated node body") from exc
+        node.count = count
+        return node

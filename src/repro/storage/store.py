@@ -1,0 +1,187 @@
+"""The node store: page file + buffer pool + codec + I/O accounting.
+
+Every index does all of its node I/O through a :class:`NodeStore`.  The
+store owns the physical read/write counters that the benchmarks report,
+splitting them into node-level and leaf-level transfers (Figure 14 of
+the paper), and exposes pinning so tree operations can hold node objects
+across buffer evictions safely.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from ..exceptions import StorageError
+from .buffer import BufferPool
+from .constants import META_PAGE_ID
+from .layout import NodeLayout
+from .nodes import InternalNode, LeafNode
+from .pagefile import InMemoryPageFile, PageFile
+from .serializer import NodeCodec
+from .stats import IOStats
+
+__all__ = ["NodeStore", "DEFAULT_BUFFER_CAPACITY"]
+
+Node = LeafNode | InternalNode
+
+DEFAULT_BUFFER_CAPACITY = 512
+"""Default buffer pool size in frames (4 MiB of 8 KiB pages)."""
+
+
+class NodeStore:
+    """Page-granular node storage for one index instance."""
+
+    def __init__(
+        self,
+        layout: NodeLayout,
+        pagefile: PageFile | None = None,
+        buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
+        stats: IOStats | None = None,
+    ) -> None:
+        self.layout = layout
+        self.pagefile = pagefile if pagefile is not None else InMemoryPageFile(
+            layout.page_size
+        )
+        if self.pagefile.page_size != layout.page_size:
+            raise StorageError(
+                f"page file page size {self.pagefile.page_size} does not match "
+                f"layout page size {layout.page_size}"
+            )
+        self.codec = NodeCodec(layout)
+        self.stats = stats if stats is not None else IOStats()
+        self.buffer = BufferPool(buffer_capacity, self._write_back)
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+
+    def new_leaf(self) -> LeafNode:
+        """Allocate a page and return a fresh empty leaf bound to it."""
+        page_id = self.pagefile.allocate()
+        leaf = LeafNode(page_id, self.layout.dims, self.layout.leaf_capacity)
+        self.buffer.put(leaf, dirty=True)
+        return leaf
+
+    def new_internal(self, level: int, extent: int = 1) -> InternalNode:
+        """Allocate page(s) and return a fresh empty internal node.
+
+        ``extent > 1`` creates an X-tree-style supernode spanning that
+        many pages (see :class:`repro.indexes.srx.SRXTree`).
+        """
+        page_id = self.pagefile.allocate()
+        node = InternalNode(
+            page_id,
+            self.layout.dims,
+            self.layout.node_capacity_for(extent),
+            level,
+            has_rects=self.layout.has_rects,
+            has_spheres=self.layout.has_spheres,
+            has_weights=self.layout.has_weights,
+        )
+        node.extra_pages = [self.pagefile.allocate() for _ in range(extent - 1)]
+        self.buffer.put(node, dirty=True)
+        return node
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def read(self, page_id: int, *, pin: bool = False) -> Node:
+        """Fetch a node, counting a physical read per page on a miss.
+
+        A supernode spanning ``e`` pages costs ``e`` physical reads —
+        the X-tree cost model.
+        """
+        node = self.buffer.get(page_id)
+        if node is None:
+            data = self.pagefile.read(page_id)
+            extent, extras = self.codec.peek_extent(data)
+            if extent > 1:
+                data = data + b"".join(self.pagefile.read(p) for p in extras)
+            node = self.codec.decode(page_id, data)
+            self.stats.page_reads += extent
+            if node.is_leaf:
+                self.stats.leaf_reads += extent
+            else:
+                self.stats.node_reads += extent
+            self.buffer.put(node, dirty=False)
+        if pin:
+            self.buffer.pin(page_id)
+        return node
+
+    def write(self, node: Node) -> None:
+        """Record that ``node`` was mutated (write-back happens lazily)."""
+        self.buffer.put(node, dirty=True)
+
+    def pin(self, page_id: int) -> None:
+        """Protect a buffered page from eviction."""
+        self.buffer.pin(page_id)
+
+    def unpin(self, page_id: int) -> None:
+        """Release a pin taken with :meth:`pin` or ``read(pin=True)``."""
+        self.buffer.unpin(page_id)
+
+    def free(self, node_or_id: Node | int) -> None:
+        """Release every page of a node back to the page file."""
+        if isinstance(node_or_id, int):
+            page_ids = [node_or_id]
+        else:
+            page_ids = node_or_id.all_page_ids
+        self.buffer.discard(page_ids[0])
+        for page_id in page_ids:
+            self.pagefile.free(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty buffered node."""
+        self.buffer.flush()
+        self.pagefile.sync()
+
+    def drop_cache(self) -> None:
+        """Flush, then empty the buffer pool.
+
+        The benchmark harness calls this before each measured query so
+        that every query starts cold and the read counter matches the
+        paper's per-query disk-read metric.
+        """
+        self.buffer.clear()
+
+    def _write_back(self, node: Node) -> None:
+        image = self.codec.encode(node)
+        page_size = self.layout.page_size
+        for i, page_id in enumerate(node.all_page_ids):
+            chunk = image[i * page_size : (i + 1) * page_size]
+            self.pagefile.write(page_id, chunk)
+        extent = node.extent
+        self.stats.page_writes += extent
+        if node.is_leaf:
+            self.stats.leaf_writes += extent
+        else:
+            self.stats.node_writes += extent
+
+    # ------------------------------------------------------------------
+    # metadata (persistence)
+    # ------------------------------------------------------------------
+
+    def write_meta(self, meta: dict) -> None:
+        """Persist an index metadata dict into the reserved meta page."""
+        image = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(image) > self.layout.page_size:
+            raise StorageError("index metadata does not fit in the meta page")
+        self.pagefile.write(META_PAGE_ID, image)
+        self.pagefile.sync()
+
+    def read_meta(self) -> dict:
+        """Load the index metadata dict from the reserved meta page."""
+        data = self.pagefile.read(META_PAGE_ID)
+        try:
+            meta = pickle.loads(data)
+        except Exception as exc:
+            raise StorageError(f"meta page is corrupt: {exc}") from exc
+        if not isinstance(meta, dict):
+            raise StorageError("meta page does not hold a metadata dict")
+        return meta
+
+    def close(self) -> None:
+        """Flush everything and close the backing page file."""
+        self.flush()
+        self.pagefile.close()

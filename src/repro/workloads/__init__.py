@@ -1,0 +1,24 @@
+"""Workload generators for the paper's three data-set families.
+
+* :func:`~repro.workloads.uniform.uniform_dataset` — uniform unit cube;
+* :func:`~repro.workloads.clusters.cluster_dataset` — the Section-5.4
+  spherical-cluster construction;
+* :func:`~repro.workloads.histograms.histogram_dataset` — synthetic
+  16-bin color histograms standing in for the paper's real image
+  features (see DESIGN.md, Substitutions);
+* :func:`~repro.workloads.queries.sample_queries` — query points drawn
+  from the data set, with the paper's ``k = 21``.
+"""
+
+from .clusters import cluster_dataset
+from .histograms import histogram_dataset
+from .queries import PAPER_K, sample_queries
+from .uniform import uniform_dataset
+
+__all__ = [
+    "PAPER_K",
+    "cluster_dataset",
+    "histogram_dataset",
+    "sample_queries",
+    "uniform_dataset",
+]

@@ -1,0 +1,88 @@
+"""The cluster data set (paper Section 5.4).
+
+The paper devises this workload after showing the uniform set degrades
+into a degenerate benchmark in high dimensions: "this data set consists
+of multiple clusters and each cluster contains a fixed number of points
+within a sphere.  The location and the radius of each cluster is chosen
+randomly within the unit cube and the location of each point is chosen
+by generating a point on the sphere surface uniformly and then shifting
+it along radius randomly."
+
+We reproduce that construction exactly:
+
+1. cluster center ~ uniform in the unit cube;
+2. cluster radius ~ uniform in ``radius_range``;
+3. each point: a direction uniform on the unit sphere surface (an
+   isotropic Gaussian, normalized), scaled by ``u * radius`` with
+   ``u ~ U(0, 1)`` — the "shift along radius".
+
+Varying ``n_clusters`` with a fixed total sweeps the data from a single
+dense ball (1 cluster) to effectively uniform (one point per cluster),
+which is exactly the Figure-19 uniformity axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+__all__ = ["cluster_dataset"]
+
+
+def cluster_dataset(
+    n_clusters: int,
+    points_per_cluster: int,
+    dims: int,
+    seed: int | None = 0,
+    radius_range: tuple[float, float] = (0.0, 0.25),
+) -> np.ndarray:
+    """Generate ``n_clusters * points_per_cluster`` clustered points.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of spherical clusters (paper Figure 18 uses 100).
+    points_per_cluster:
+        Points per cluster (paper Figure 18 uses 1000).
+    dims:
+        Dimensionality.
+    seed:
+        Seed for a dedicated :class:`numpy.random.Generator`.
+    radius_range:
+        ``(min, max)`` of the uniform cluster-radius distribution.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_clusters * points_per_cluster, dims)`` array; points of one
+        cluster occupy consecutive rows.
+    """
+    if n_clusters < 1:
+        raise WorkloadError(f"n_clusters must be >= 1, got {n_clusters}")
+    if points_per_cluster < 1:
+        raise WorkloadError(
+            f"points_per_cluster must be >= 1, got {points_per_cluster}"
+        )
+    if dims < 1:
+        raise WorkloadError(f"dims must be >= 1, got {dims}")
+    r_min, r_max = radius_range
+    if not 0.0 <= r_min <= r_max:
+        raise WorkloadError(f"invalid radius range {radius_range}")
+
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 1.0, size=(n_clusters, dims))
+    radii = rng.uniform(r_min, r_max, size=n_clusters)
+
+    total = n_clusters * points_per_cluster
+    points = np.empty((total, dims), dtype=np.float64)
+    for c in range(n_clusters):
+        directions = rng.standard_normal(size=(points_per_cluster, dims))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        # A zero-norm draw has probability ~0; guard it anyway.
+        np.maximum(norms, np.finfo(np.float64).tiny, out=norms)
+        directions /= norms
+        shifts = rng.uniform(0.0, 1.0, size=(points_per_cluster, 1))
+        block = slice(c * points_per_cluster, (c + 1) * points_per_cluster)
+        points[block] = centers[c] + directions * shifts * radii[c]
+    return points

@@ -1,0 +1,53 @@
+"""Query workloads.
+
+The paper's queries are "to find the nearest 21 points relative to a
+particular point in the data set", averaged over 1000 random trials
+(Section 3.1) — i.e. query points are sampled *from the data set
+itself*, and k = 21 (the query point is its own nearest neighbor, plus
+20 true neighbors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+__all__ = ["PAPER_K", "sample_queries"]
+
+PAPER_K = 21
+"""The k used throughout the paper's experiments."""
+
+
+def sample_queries(
+    points: np.ndarray, count: int, seed: int | None = 0, replace: bool = False
+) -> np.ndarray:
+    """Sample query points from a data set, as the paper does.
+
+    Parameters
+    ----------
+    points:
+        The ``(N, D)`` data set.
+    count:
+        Number of queries (the paper uses 1000 random trials).
+    seed:
+        Seed for a dedicated :class:`numpy.random.Generator`.
+    replace:
+        Sample with replacement; required when ``count > N``.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise WorkloadError("expected an (N, D) array of points")
+    n = points.shape[0]
+    if n == 0:
+        raise WorkloadError("cannot sample queries from an empty data set")
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    if count > n and not replace:
+        raise WorkloadError(
+            f"cannot draw {count} distinct queries from {n} points; "
+            "pass replace=True"
+        )
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(n, size=count, replace=replace)
+    return points[chosen].copy()

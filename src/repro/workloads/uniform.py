@@ -1,0 +1,42 @@
+"""The uniform data set (paper Section 3.1).
+
+Points distributed uniformly in ``[0, 1)`` on each dimension — the
+synthetic workload of Figures 3, 5, 6, 9, 10, 12 and the dimensionality
+sweep of Figures 15-17.  The paper itself concludes (Section 5.4) that
+this distribution becomes a degenerate benchmark in high dimensions
+because pairwise distances concentrate; the analysis module quantifies
+that (:func:`repro.analysis.distances.distance_spread`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+__all__ = ["uniform_dataset"]
+
+
+def uniform_dataset(
+    size: int, dims: int, seed: int | None = 0, low: float = 0.0, high: float = 1.0
+) -> np.ndarray:
+    """Generate ``size`` points uniform in ``[low, high)`` per dimension.
+
+    Parameters
+    ----------
+    size, dims:
+        Shape of the data set.
+    seed:
+        Seed for a dedicated :class:`numpy.random.Generator`; pass
+        ``None`` for entropy-based seeding.
+    low, high:
+        Coordinate range (default the unit cube, as in the paper).
+    """
+    if size < 0:
+        raise WorkloadError(f"size must be non-negative, got {size}")
+    if dims < 1:
+        raise WorkloadError(f"dims must be >= 1, got {dims}")
+    if not high > low:
+        raise WorkloadError(f"need high > low, got [{low}, {high})")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=(size, dims))

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(20250706)
+
+
+@pytest.fixture
+def small_cloud(rng) -> np.ndarray:
+    """300 points, 8-dimensional, in the unit cube."""
+    return rng.random((300, 8))
+
+
+@pytest.fixture
+def tiny_cloud(rng) -> np.ndarray:
+    """40 points, 4-dimensional — small enough for exhaustive checks."""
+    return rng.random((40, 4))

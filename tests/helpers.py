@@ -1,0 +1,16 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def brute_force_knn(points: np.ndarray, query: np.ndarray, k: int) -> list[int]:
+    """Ground-truth k-NN: indices of the k closest rows, ascending distance.
+
+    Ties are broken by row index, matching the insertion order used by
+    the tests (values default to row indices).
+    """
+    dists = np.linalg.norm(points - query, axis=1)
+    order = np.lexsort((np.arange(len(points)), dists))
+    return [int(i) for i in order[:k]]

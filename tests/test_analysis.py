@@ -1,0 +1,121 @@
+"""Unit tests for the analysis package (region shapes, distances, access)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    distance_spread,
+    leaf_access_ratio,
+    measure_leaf_regions,
+)
+from repro.indexes import RStarTree, SRTree, SSTree, build_index
+from repro.workloads import uniform_dataset
+
+
+class TestMeasureLeafRegions:
+    def test_single_leaf_exact(self):
+        tree = SRTree(2)
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 1.0]])
+        tree.load(pts)
+        stats = measure_leaf_regions(tree)
+        assert stats.leaf_count == 1
+        # Centroid (1, 1/3); farthest point distance defines the sphere.
+        center = pts.mean(axis=0)
+        radius = float(np.max(np.linalg.norm(pts - center, axis=1)))
+        assert stats.sphere_diameter_mean == pytest.approx(2 * radius)
+        assert stats.rect_volume_mean == pytest.approx(2.0)  # 2 x 1 box
+        assert stats.rect_diameter_mean == pytest.approx(math.hypot(2.0, 1.0))
+
+    def test_empty_index_raises(self):
+        tree = SRTree(2)
+        with pytest.raises(ValueError):
+            measure_leaf_regions(tree)
+
+    def test_rect_volume_below_sphere_volume_uniform_16d(self):
+        # The paper's Figure 5/6 relationship at D=16: bounding-rectangle
+        # volume is orders of magnitude below bounding-sphere volume.
+        data = uniform_dataset(2000, 16, seed=0)
+        tree = SSTree(16)
+        tree.load(data)
+        stats = measure_leaf_regions(tree)
+        assert stats.rect_volume_mean < 0.05 * stats.sphere_volume_mean
+
+    def test_sphere_diameter_below_rect_diagonal_16d(self):
+        # ... while the sphere diameter is shorter than the rect diagonal.
+        data = uniform_dataset(2000, 16, seed=0)
+        tree = RStarTree(16)
+        tree.load(data)
+        stats = measure_leaf_regions(tree)
+        assert stats.sphere_diameter_mean < stats.rect_diameter_mean
+
+    def test_shape_accessors(self):
+        tree = SRTree(2)
+        tree.load(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        stats = measure_leaf_regions(tree)
+        assert stats.volume_mean("rect") == stats.rect_volume_mean
+        assert stats.volume_mean("sphere") == stats.sphere_volume_mean
+        assert stats.diameter_mean("rect") == stats.rect_diameter_mean
+        with pytest.raises(ValueError):
+            stats.volume_mean("triangle")
+
+    def test_geomean_zero_with_degenerate_leaf(self):
+        tree = SRTree(2)
+        tree.load(np.zeros((3, 2)))  # all identical: zero-volume regions
+        stats = measure_leaf_regions(tree)
+        assert stats.rect_volume_geomean == 0.0
+        assert stats.sphere_volume_geomean == 0.0
+
+
+class TestDistanceSpread:
+    def test_known_configuration(self):
+        pts = np.array([[0.0], [1.0], [3.0]])
+        spread = distance_spread(pts, sample=None)
+        assert spread.minimum == pytest.approx(1.0)
+        assert spread.maximum == pytest.approx(3.0)
+        assert spread.average == pytest.approx(2.0)
+        assert spread.min_to_max_ratio == pytest.approx(1 / 3)
+
+    def test_concentration_grows_with_dimensionality(self):
+        # Figure 17's message: min/max ratio rises with D.
+        ratios = []
+        for dims in (2, 16, 64):
+            data = uniform_dataset(800, dims, seed=0)
+            ratios.append(distance_spread(data).min_to_max_ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_subsampling_deterministic(self, rng):
+        data = rng.random((500, 4))
+        a = distance_spread(data, sample=100, seed=1)
+        b = distance_spread(data, sample=100, seed=1)
+        assert a == b
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            distance_spread(np.zeros((1, 3)))
+
+    def test_zero_max_ratio(self):
+        spread = distance_spread(np.zeros((5, 3)))
+        assert spread.min_to_max_ratio == 0.0
+
+
+class TestLeafAccessRatio:
+    def test_full_scan_when_k_exceeds_size(self, rng):
+        data = rng.random((150, 4))
+        tree = build_index("srtree", data)
+        report = leaf_access_ratio(tree, data[:5], k=150)
+        assert report.ratio == pytest.approx(1.0)
+
+    def test_small_k_touches_few_leaves(self, rng):
+        data = rng.random((800, 4))
+        tree = build_index("srtree", data)
+        report = leaf_access_ratio(tree, data[:10], k=3)
+        assert 0.0 < report.ratio < 0.6
+        assert report.total_leaves == tree.leaf_count()
+        assert report.queries == 10
+
+    def test_invalid_queries(self, rng):
+        tree = build_index("srtree", rng.random((50, 3)))
+        with pytest.raises(ValueError):
+            leaf_access_ratio(tree, np.empty((0, 3)))

@@ -1,0 +1,65 @@
+"""Tests for the best-first k-NN extension (Hjaltason & Samet)."""
+
+import numpy as np
+import pytest
+
+from repro.indexes import INDEX_KINDS, build_index
+
+from tests.helpers import brute_force_knn
+
+TREE_KINDS = [k for k in sorted(INDEX_KINDS) if k != "linear"]
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return np.random.default_rng(31337).random((500, 8))
+
+
+@pytest.mark.parametrize("kind", TREE_KINDS)
+class TestBestFirst:
+    def test_matches_brute_force(self, kind, cloud):
+        index = build_index(kind, cloud)
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            q = rng.random(8)
+            got = [n.value for n in index.nearest(q, 9, algorithm="best-first")]
+            assert got == brute_force_knn(cloud, q, 9)
+
+    def test_agrees_with_depth_first(self, kind, cloud):
+        index = build_index(kind, cloud)
+        q = cloud[42]
+        dfs = [n.value for n in index.nearest(q, 21, algorithm="depth-first")]
+        bfs = [n.value for n in index.nearest(q, 21, algorithm="best-first")]
+        assert dfs == bfs
+
+    def test_never_reads_more_pages(self, kind, cloud):
+        # Best-first is I/O-optimal: for the same tree and query it can
+        # only read fewer-or-equal pages than the depth-first traversal.
+        index = build_index(kind, cloud)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            q = rng.random(8)
+            index.store.drop_cache()
+            before = index.stats.snapshot()
+            index.nearest(q, 11, algorithm="depth-first")
+            dfs_reads = index.stats.since(before).page_reads
+
+            index.store.drop_cache()
+            before = index.stats.snapshot()
+            index.nearest(q, 11, algorithm="best-first")
+            bfs_reads = index.stats.since(before).page_reads
+            assert bfs_reads <= dfs_reads
+
+
+class TestAlgorithmSelection:
+    def test_unknown_algorithm_rejected(self, cloud):
+        index = build_index("srtree", cloud)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            index.nearest(cloud[0], 1, algorithm="magic")
+
+    def test_k_larger_than_size(self, cloud):
+        index = build_index("srtree", cloud)
+        res = index.nearest(cloud[0], k=1000, algorithm="best-first")
+        assert len(res) == len(cloud)
+        dists = [n.distance for n in res]
+        assert dists == sorted(dists)

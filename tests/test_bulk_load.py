@@ -1,0 +1,135 @@
+"""Tests for bottom-up bulk loading of the dynamic tree families."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import describe
+from repro.indexes import KDBTree, RStarTree, SRTree, SSTree
+from repro.indexes.bulk import bulk_load, vam_groups
+
+from tests.helpers import brute_force_knn
+
+FAMILIES = [RStarTree, SSTree, SRTree]
+
+
+@pytest.fixture(params=FAMILIES, ids=lambda cls: cls.NAME)
+def family(request):
+    return request.param
+
+
+class TestVamGroups:
+    def test_groups_partition_exactly(self, rng):
+        coords = rng.random((100, 4))
+        groups = vam_groups(coords, 12)
+        flat = sorted(int(i) for g in groups for i in g)
+        assert flat == list(range(100))
+
+    def test_group_sizes_bounded_and_packed(self, rng):
+        coords = rng.random((100, 4))
+        groups = vam_groups(coords, 12)
+        assert all(len(g) <= 12 for g in groups)
+        # Near-minimal group count.
+        assert len(groups) <= int(np.ceil(100 / 12)) + 1
+
+    def test_single_group(self, rng):
+        groups = vam_groups(rng.random((5, 2)), 12)
+        assert len(groups) == 1
+
+    def test_invalid_capacity(self, rng):
+        with pytest.raises(ValueError):
+            vam_groups(rng.random((5, 2)), 0)
+
+    def test_groups_are_spatially_coherent(self, rng):
+        # Two separated clusters must not share a group.
+        left = rng.random((24, 2)) * 0.1
+        right = rng.random((24, 2)) * 0.1 + 10.0
+        coords = np.vstack([left, right])
+        for group in vam_groups(coords, 12):
+            xs = coords[group][:, 0]
+            assert xs.max() - xs.min() < 5.0
+
+
+class TestBulkLoad:
+    def test_exact_knn_after_bulk_load(self, family, rng):
+        pts = rng.random((500, 6))
+        tree = family(6)
+        tree.bulk_load(pts)
+        assert tree.size == 500
+        tree.check_invariants()
+        for _ in range(5):
+            q = rng.random(6)
+            got = [n.value for n in tree.nearest(q, 9)]
+            assert got == brute_force_knn(pts, q, 9)
+
+    def test_packs_tighter_than_incremental(self, family, rng):
+        pts = rng.random((600, 6))
+        bulk = family(6)
+        bulk.bulk_load(pts)
+        incremental = family(6)
+        incremental.load(pts)
+        assert describe(bulk).total_pages <= describe(incremental).total_pages
+        assert describe(bulk).leaf_utilization > 0.85
+
+    def test_remains_dynamic(self, family, rng):
+        pts = rng.random((300, 4))
+        tree = family(4)
+        tree.bulk_load(pts)
+        extra = rng.random((100, 4))
+        for i, p in enumerate(extra):
+            tree.insert(p, 300 + i)
+        tree.delete(pts[0], value=0)
+        assert tree.size == 399
+        tree.check_invariants()
+        everything = np.vstack([pts[1:], extra])
+        labels = list(range(1, 300)) + list(range(300, 400))
+        q = rng.random(4)
+        got = [n.value for n in tree.nearest(q, 7)]
+        expected = [labels[j] for j in brute_force_knn(everything, q, 7)]
+        assert got == expected
+
+    def test_custom_values(self, family, rng):
+        pts = rng.random((50, 3))
+        tree = family(3)
+        tree.bulk_load(pts, values=[f"v{i}" for i in range(50)])
+        assert tree.nearest(pts[9], 1)[0].value == "v9"
+
+    def test_requires_empty_tree(self, family, rng):
+        tree = family(3)
+        tree.insert([0.1, 0.2, 0.3], 0)
+        with pytest.raises(ValueError, match="empty"):
+            tree.bulk_load(rng.random((10, 3)))
+
+    def test_empty_input_noop(self, family):
+        tree = family(3)
+        tree.bulk_load(np.empty((0, 3)))
+        assert tree.size == 0
+
+    def test_values_length_mismatch(self, family, rng):
+        tree = family(3)
+        with pytest.raises(ValueError):
+            tree.bulk_load(rng.random((10, 3)), values=[1, 2])
+
+    def test_wrong_dims_rejected(self, family, rng):
+        tree = family(3)
+        with pytest.raises(ValueError):
+            tree.bulk_load(rng.random((10, 5)))
+
+    def test_unsupported_family_rejected(self, rng):
+        tree = KDBTree(3)
+        with pytest.raises(TypeError):
+            bulk_load(tree, rng.random((10, 3)))
+
+    def test_single_leaf_case(self, family, rng):
+        pts = rng.random((5, 3))
+        tree = family(3)
+        tree.bulk_load(pts)
+        assert tree.height == 1
+        assert tree.size == 5
+        tree.check_invariants()
+
+    def test_sr_regions_valid_after_bulk_load(self, rng):
+        # The SR-specific radius rule must hold in a bulk-built tree too.
+        pts = rng.random((800, 8))
+        tree = SRTree(8)
+        tree.bulk_load(pts)
+        tree.check_invariants()

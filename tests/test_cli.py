@@ -1,0 +1,107 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.indexes import open_index
+
+
+@pytest.fixture
+def data_file(tmp_path, rng):
+    path = tmp_path / "points.npy"
+    np.save(path, rng.random((200, 4)))
+    return path
+
+
+def run(*argv) -> int:
+    return main([str(a) for a in argv])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["uniform", "cluster", "real"])
+    def test_generates_npy(self, family, tmp_path, capsys):
+        out = tmp_path / "data.npy"
+        code = run("generate", "--family", family, "--size", 300,
+                   "--dims", 8, "--out", out)
+        assert code == 0
+        data = np.load(out)
+        assert data.shape == (300, 8) or family == "cluster"
+        if family == "cluster":
+            assert data.shape[1] == 8
+        assert "wrote" in capsys.readouterr().out
+
+    def test_deterministic_by_seed(self, tmp_path):
+        a = tmp_path / "a.npy"
+        b = tmp_path / "b.npy"
+        run("generate", "--size", 50, "--dims", 3, "--seed", 7, "--out", a)
+        run("generate", "--size", 50, "--dims", 3, "--seed", 7, "--out", b)
+        np.testing.assert_array_equal(np.load(a), np.load(b))
+
+
+class TestBuildInfoQuery:
+    def test_full_pipeline(self, tmp_path, data_file, capsys):
+        index_file = tmp_path / "index.srtree"
+        assert run("build", "--kind", "srtree", "--data", data_file,
+                   "--out", index_file) == 0
+        assert index_file.exists()
+
+        assert run("info", "--index", index_file) == 0
+        out = capsys.readouterr().out
+        assert "srtree: 200 points" in out
+        assert "level 0" in out
+
+        assert run("query", "--index", index_file, "--row", 5,
+                   "--data", data_file, "-k", 3) == 0
+        out = capsys.readouterr().out
+        assert "3 neighbors" in out
+        assert "page reads" in out
+        assert out.splitlines()[0].startswith("0.000000")  # self-match first
+
+    def test_query_by_point_string(self, tmp_path, data_file, capsys):
+        index_file = tmp_path / "index.srtree"
+        run("build", "--data", data_file, "--out", index_file)
+        point = ",".join(str(x) for x in np.load(data_file)[0])
+        assert run("query", "--index", index_file, "--point", point) == 0
+        assert "page reads" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("kind", ["rstar", "sstree", "kdb", "vamsplit"])
+    def test_other_kinds_build_and_open(self, kind, tmp_path, data_file):
+        index_file = tmp_path / f"index.{kind}"
+        assert run("build", "--kind", kind, "--data", data_file,
+                   "--out", index_file) == 0
+        index = open_index(index_file)
+        assert index.size == 200
+        index.store.close()
+
+    def test_build_rejects_bad_shape(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npy"
+        np.save(bad, np.zeros(7))
+        code = run("build", "--data", bad, "--out", tmp_path / "x.idx")
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_query_row_requires_data(self, tmp_path, data_file, capsys):
+        index_file = tmp_path / "index.srtree"
+        run("build", "--data", data_file, "--out", index_file)
+        assert run("query", "--index", index_file, "--row", 1) == 2
+        assert "requires --data" in capsys.readouterr().err
+
+    def test_missing_index_file(self, tmp_path, capsys):
+        assert run("info", "--index", tmp_path / "absent.idx") == 2
+
+
+class TestOpenIndex:
+    def test_open_with_custom_page_size(self, tmp_path, rng):
+        from repro.indexes import SRTree
+        from repro.storage import FilePageFile
+
+        path = tmp_path / "big.idx"
+        tree = SRTree(4, page_size=16384,
+                      pagefile=FilePageFile(path, page_size=16384))
+        tree.load(rng.random((50, 4)))
+        tree.close()
+        reopened = open_index(path)
+        assert reopened.layout.page_size == 16384
+        assert reopened.size == 50
+        reopened.store.close()

@@ -1,0 +1,42 @@
+"""Smoke tests: the example programs must run end to end.
+
+Only the fast examples run here (the shootout and retrieval demos build
+many indexes and belong to manual runs); each executes in a subprocess
+exactly as a user would run it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+FAST_EXAMPLES = ["quickstart.py", "persistence.py", "spatial_queries.py"]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_quickstart_output_mentions_key_steps():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    out = result.stdout
+    assert "leaf capacity 12" in out
+    assert "node fanout 20" in out
+    assert "page reads" in out
+    assert "invariants OK" in out

@@ -1,0 +1,137 @@
+"""Tests for every experiment function in repro.bench.experiments.
+
+Each experiment runs here at a tiny scale, asserting table shape and the
+internal consistency of its rows (the qualitative paper claims are
+asserted at benchmark scale in benchmarks/).
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    exp.clear_caches()
+    yield
+    exp.clear_caches()
+
+
+class TestScaling:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert exp.scale() == 1.0
+        assert exp.uniform_sizes() == [2000, 5000, 10000]
+        assert exp.real_sizes() == [1000, 2500, 5000]
+        assert exp.dims_sweep() == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+        assert all(size >= 200 for size in exp.uniform_sizes())
+
+    def test_query_count_scales(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.1")
+        small = exp.query_count()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.0")
+        big = exp.query_count()
+        assert 10 <= small <= big <= 100
+
+
+class TestDatasets:
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            exp.get_dataset("zipf", size=10, dims=2)
+
+    def test_cluster_params(self):
+        data = exp.get_dataset("cluster", n_clusters=3, points_per_cluster=20,
+                               dims=4)
+        assert data.shape == (60, 4)
+
+    def test_unknown_index_kind(self):
+        with pytest.raises(ValueError):
+            exp.get_index("btree", "uniform", size=50, dims=2)
+
+
+class TestExperimentTables:
+    def test_query_experiment_rows(self):
+        headers, rows = exp.query_experiment(
+            "uniform", [300], ("sstree", "srtree"), dims=4, k=5
+        )
+        assert headers[0] == "size"
+        assert len(rows) == 2
+        for row in rows:
+            size, kind, cpu, reads, node_reads, leaf_reads, dist = row
+            assert size == 300
+            assert reads == pytest.approx(node_reads + leaf_reads)
+            assert cpu > 0 and dist > 0
+
+    def test_region_experiment_rows(self):
+        headers, rows = exp.region_experiment(
+            "uniform", [300], ("rstar", "sstree", "srtree"), dims=4
+        )
+        assert len(rows) == 3
+        regions = {row[1]: row[2] for row in rows}
+        assert regions == {"rstar": "rect", "sstree": "sphere", "srtree": "both"}
+        for row in rows:
+            assert row[3] >= 0 and row[4] >= 0  # volumes
+            assert row[5] > 0 and row[6] > 0    # diameters
+
+    def test_ss_rect_volume_rows(self):
+        headers, rows = exp.ss_rect_volume_experiment([300], dims=4)
+        (size, sphere_vol, rect_vol, ratio), = rows
+        assert size == 300
+        assert rect_vol <= sphere_vol
+        assert ratio == pytest.approx(rect_vol / sphere_vol)
+
+    def test_insertion_experiment_rows(self):
+        headers, rows = exp.insertion_experiment(
+            "uniform", [250], kinds=("sstree",), dims=4
+        )
+        (size, kind, cpu, accesses), = rows
+        assert kind == "sstree" and cpu > 0 and accesses > 0
+
+    def test_read_breakdown_rows(self):
+        headers, rows = exp.read_breakdown_experiment(
+            "uniform", [300], kinds=("sstree", "srtree"), dims=4, k=5
+        )
+        for row in rows:
+            assert row[4] == pytest.approx(row[2] + row[3])
+
+    def test_dimensionality_rows(self):
+        headers, rows = exp.dimensionality_experiment(
+            "uniform", [2, 4], kinds=("srtree",), k=3, size=250
+        )
+        assert [row[0] for row in rows] == [2, 4]
+
+    def test_leaf_access_rows(self):
+        headers, rows = exp.leaf_access_experiment(
+            [2], size=250, kinds=("srtree",), k=3
+        )
+        (dims, kind, total, read, pct), = rows
+        assert 0 < read <= total
+        assert pct == pytest.approx(100.0 * read / total)
+
+    def test_distance_concentration_rows(self):
+        headers, rows = exp.distance_concentration_experiment([2, 8], size=300)
+        assert rows[0][1] <= rows[0][2] <= rows[0][3]  # min <= avg <= max
+        assert rows[1][4] > rows[0][4]  # concentration grows with dims
+
+    def test_cluster_count_rows(self):
+        headers, rows = exp.cluster_count_experiment(
+            [2, 10], total_points=300, dims=4, kinds=("srtree",), k=3
+        )
+        assert [row[0] for row in rows] == [2, 10]
+        assert all(row[3] > 0 for row in rows)
+
+    def test_fanout_experiment_dims(self):
+        headers, rows = exp.fanout_experiment(dims_list=[4, 16])
+        assert len(headers) == 1 + 2 + 2
+        srx_free = [row for row in rows if row[0] == "srtree"]
+        assert srx_free[0][2] == 20  # node capacity at D=16
+
+    def test_height_experiment_kinds(self):
+        headers, rows = exp.height_experiment(
+            "uniform", sizes=[250], dims=4, kinds=("srtree",)
+        )
+        assert rows[0][0] == "srtree"
+        assert rows[0][1] >= 2

@@ -1,0 +1,118 @@
+"""Unit tests for repro.geometry.point."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError
+from repro.geometry.point import (
+    as_point,
+    as_points,
+    check_dims,
+    distance,
+    distances_to_many,
+    pairwise_distances,
+    squared_distances_to_many,
+)
+
+
+class TestAsPoint:
+    def test_accepts_list(self):
+        p = as_point([1.0, 2.0, 3.0])
+        assert p.dtype == np.float64
+        assert p.shape == (3,)
+
+    def test_accepts_int_sequence(self):
+        p = as_point([1, 2])
+        assert p.dtype == np.float64
+        np.testing.assert_array_equal(p, [1.0, 2.0])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DimensionalityError):
+            as_point([[1.0, 2.0]])
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(DimensionalityError):
+            as_point([1.0, 2.0], dims=3)
+
+    def test_accepts_matching_dims(self):
+        p = as_point([1.0, 2.0, 3.0], dims=3)
+        assert p.shape == (3,)
+
+
+class TestAsPoints:
+    def test_promotes_single_point(self):
+        pts = as_points([1.0, 2.0])
+        assert pts.shape == (1, 2)
+
+    def test_accepts_matrix(self):
+        pts = as_points([[1.0, 2.0], [3.0, 4.0]])
+        assert pts.shape == (2, 2)
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionalityError):
+            as_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(DimensionalityError):
+            as_points([[1.0, 2.0]], dims=5)
+
+
+class TestCheckDims:
+    def test_pass(self):
+        check_dims(4, 4)
+
+    def test_fail(self):
+        with pytest.raises(DimensionalityError):
+            check_dims(4, 5)
+
+
+class TestDistance:
+    def test_unit_axis(self):
+        assert distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert distance([1.5, -2.0], [1.5, -2.0]) == 0.0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            distance([0.0], [0.0, 1.0])
+
+
+class TestBatchDistances:
+    def test_matches_loop(self, rng):
+        q = rng.random(6)
+        pts = rng.random((50, 6))
+        expected = np.array([np.linalg.norm(p - q) for p in pts])
+        np.testing.assert_allclose(distances_to_many(q, pts), expected)
+        np.testing.assert_allclose(
+            squared_distances_to_many(q, pts), expected**2, rtol=1e-12
+        )
+
+    def test_empty(self):
+        q = np.zeros(3)
+        assert distances_to_many(q, np.empty((0, 3))).shape == (0,)
+
+
+class TestPairwiseDistances:
+    def test_count(self, rng):
+        pts = rng.random((10, 4))
+        assert pairwise_distances(pts).shape == (45,)
+
+    def test_values_match_direct(self, rng):
+        pts = rng.random((8, 3))
+        condensed = pairwise_distances(pts)
+        idx = 0
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert condensed[idx] == pytest.approx(
+                    np.linalg.norm(pts[i] - pts[j]), abs=1e-9
+                )
+                idx += 1
+
+    def test_degenerate_inputs(self):
+        assert pairwise_distances(np.zeros((1, 3))).shape == (0,)
+        assert pairwise_distances(np.zeros((0, 3))).shape == (0,)
+
+    def test_non_negative_with_duplicates(self):
+        pts = np.ones((5, 4))
+        assert np.all(pairwise_distances(pts) == 0.0)

@@ -1,0 +1,181 @@
+"""Unit tests for repro.geometry.rectangle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.rectangle import (
+    Rect,
+    farthest_point_rects,
+    mindist_point_rects,
+    union_rects,
+)
+
+
+@pytest.fixture
+def unit_square() -> Rect:
+    return Rect.unit_cube(2)
+
+
+class TestConstruction:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            Rect([0.0, 1.0], [1.0, 0.0])
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point([2.0, 3.0])
+        assert r.volume() == 0.0
+        assert r.diagonal == 0.0
+
+    def test_bounding(self, rng):
+        pts = rng.random((20, 3))
+        r = Rect.bounding(pts)
+        assert np.all(r.low <= pts.min(axis=0))
+        assert np.all(r.high >= pts.max(axis=0))
+        for p in pts:
+            assert r.contains_point(p)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding(np.empty((0, 3)))
+
+
+class TestProperties:
+    def test_unit_cube_diagonal_grows_sqrt_d(self):
+        # The paper's Section 3.2 example: the diagonal of a D-dimensional
+        # unit cube is sqrt(D) even though every edge has length one.
+        for dims in (2, 16, 64):
+            assert Rect.unit_cube(dims).diagonal == pytest.approx(math.sqrt(dims))
+
+    def test_volume_margin(self):
+        r = Rect([0.0, 0.0], [2.0, 3.0])
+        assert r.volume() == pytest.approx(6.0)
+        assert r.margin == pytest.approx(5.0)
+
+    def test_center_extents(self):
+        r = Rect([0.0, -1.0], [4.0, 1.0])
+        np.testing.assert_allclose(r.center, [2.0, 0.0])
+        np.testing.assert_allclose(r.extents, [4.0, 2.0])
+
+    def test_log_volume_degenerate(self):
+        r = Rect([0.0, 0.0], [1.0, 0.0])
+        assert r.volume() == 0.0
+        assert r.log_volume() == -math.inf
+
+
+class TestRelations:
+    def test_contains_point_boundary(self, unit_square):
+        assert unit_square.contains_point([0.0, 1.0])
+        assert not unit_square.contains_point([1.0001, 0.5])
+
+    def test_contains_rect(self, unit_square):
+        inner = Rect([0.2, 0.2], [0.8, 0.8])
+        assert unit_square.contains_rect(inner)
+        assert not inner.contains_rect(unit_square)
+
+    def test_intersects_disjoint(self):
+        a = Rect([0.0, 0.0], [1.0, 1.0])
+        b = Rect([2.0, 2.0], [3.0, 3.0])
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+        assert a.overlap_volume(b) == 0.0
+
+    def test_intersects_touching(self):
+        a = Rect([0.0, 0.0], [1.0, 1.0])
+        b = Rect([1.0, 0.0], [2.0, 1.0])
+        assert a.intersects(b)
+        assert a.overlap_volume(b) == 0.0  # shared face has zero volume
+
+    def test_intersection_volume(self):
+        a = Rect([0.0, 0.0], [2.0, 2.0])
+        b = Rect([1.0, 1.0], [3.0, 3.0])
+        assert a.overlap_volume(b) == pytest.approx(1.0)
+
+    def test_union(self):
+        a = Rect([0.0, 0.0], [1.0, 1.0])
+        b = Rect([2.0, -1.0], [3.0, 0.5])
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+        np.testing.assert_allclose(u.low, [0.0, -1.0])
+        np.testing.assert_allclose(u.high, [3.0, 1.0])
+
+    def test_extended(self, unit_square):
+        r = unit_square.extended([2.0, 0.5])
+        assert r.contains_point([2.0, 0.5])
+        assert r.contains_rect(unit_square)
+
+    def test_enlargement(self, unit_square):
+        grown = Rect([0.0, 0.0], [2.0, 1.0])
+        assert unit_square.enlargement(grown) == pytest.approx(1.0)
+        assert unit_square.enlargement(unit_square) == 0.0
+
+
+class TestDistances:
+    def test_mindist_inside_is_zero(self, unit_square):
+        assert unit_square.mindist([0.5, 0.5]) == 0.0
+
+    def test_mindist_outside_corner(self, unit_square):
+        assert unit_square.mindist([2.0, 2.0]) == pytest.approx(math.sqrt(2.0))
+
+    def test_mindist_outside_face(self, unit_square):
+        assert unit_square.mindist([0.5, 3.0]) == pytest.approx(2.0)
+
+    def test_farthest_from_center(self, unit_square):
+        # From the center, the farthest vertex is half the diagonal away.
+        assert unit_square.farthest([0.5, 0.5]) == pytest.approx(math.sqrt(2) / 2)
+
+    def test_farthest_bounds_all_points(self, rng, unit_square):
+        q = rng.random(2) * 3.0
+        bound = unit_square.farthest(q)
+        pts = rng.random((200, 2))  # all inside the unit square
+        dists = np.linalg.norm(pts - q, axis=1)
+        assert np.all(dists <= bound + 1e-12)
+
+    def test_mindist_lower_bounds_all_points(self, rng, unit_square):
+        q = rng.random(2) * 3.0
+        bound = unit_square.mindist(q)
+        pts = rng.random((200, 2))
+        dists = np.linalg.norm(pts - q, axis=1)
+        assert np.all(dists >= bound - 1e-12)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Rect([0.0], [1.0])
+        b = Rect([0.0], [1.0])
+        c = Rect([0.0], [2.0])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_roundtrip_info(self, unit_square):
+        assert "Rect" in repr(unit_square)
+
+
+class TestBatchKernels:
+    def test_mindist_batch_matches_scalar(self, rng):
+        lows = rng.random((30, 5))
+        highs = lows + rng.random((30, 5))
+        q = rng.random(5) * 2 - 0.5
+        batch = mindist_point_rects(q, lows, highs)
+        for i in range(30):
+            assert batch[i] == pytest.approx(Rect(lows[i], highs[i]).mindist(q))
+
+    def test_farthest_batch_matches_scalar(self, rng):
+        lows = rng.random((30, 5))
+        highs = lows + rng.random((30, 5))
+        q = rng.random(5) * 2 - 0.5
+        batch = farthest_point_rects(q, lows, highs)
+        for i in range(30):
+            assert batch[i] == pytest.approx(Rect(lows[i], highs[i]).farthest(q))
+
+    def test_union_rects(self, rng):
+        lows = rng.random((10, 3))
+        highs = lows + rng.random((10, 3))
+        u = union_rects(lows, highs)
+        for i in range(10):
+            assert u.contains_rect(Rect(lows[i], highs[i]))
+
+    def test_union_rects_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_rects(np.empty((0, 3)), np.empty((0, 3)))

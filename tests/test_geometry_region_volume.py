@@ -1,0 +1,144 @@
+"""Unit tests for repro.geometry.region and repro.geometry.volume."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.rectangle import Rect
+from repro.geometry.region import SRRegion
+from repro.geometry.sphere import Sphere
+from repro.geometry.volume import (
+    log_rect_volume,
+    log_sphere_volume,
+    log_unit_ball_volume,
+    rect_volume,
+    sphere_volume,
+    unit_ball_volume,
+)
+
+
+class TestUnitBallVolume:
+    def test_known_values(self):
+        assert unit_ball_volume(1) == pytest.approx(2.0)
+        assert unit_ball_volume(2) == pytest.approx(math.pi)
+        assert unit_ball_volume(3) == pytest.approx(4.0 / 3.0 * math.pi)
+
+    def test_zero_dims_convention(self):
+        assert unit_ball_volume(0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_unit_ball_volume(-1)
+
+    def test_shrinks_in_high_dimensions(self):
+        # The famous counterintuitive fact the paper exploits: the unit
+        # ball's volume peaks at D=5 and then vanishes as D grows.
+        assert unit_ball_volume(5) > unit_ball_volume(2)
+        assert unit_ball_volume(16) < unit_ball_volume(8) < unit_ball_volume(5)
+        assert unit_ball_volume(64) < 1e-19
+
+
+class TestSphereVolume:
+    def test_scaling_law(self):
+        # V(D, r) = V(D, 1) * r^D
+        for dims in (2, 7, 16):
+            assert sphere_volume(dims, 2.0) == pytest.approx(
+                unit_ball_volume(dims) * 2.0**dims
+            )
+
+    def test_degenerate(self):
+        assert sphere_volume(5, 0.0) == 0.0
+        assert log_sphere_volume(5, 0.0) == -math.inf
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            sphere_volume(3, -1.0)
+
+    def test_log_consistency(self):
+        assert math.exp(log_sphere_volume(10, 0.7)) == pytest.approx(
+            sphere_volume(10, 0.7)
+        )
+
+
+class TestRectVolume:
+    def test_simple(self):
+        assert rect_volume([0, 0], [2, 3]) == pytest.approx(6.0)
+
+    def test_degenerate(self):
+        assert rect_volume([0, 0], [2, 0]) == 0.0
+        assert log_rect_volume([0, 0], [2, 0]) == -math.inf
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            rect_volume([1.0], [0.0])
+
+    def test_log_extreme_dims_stable(self):
+        # 64 dimensions of extent 1e-4 underflow float64 (1e-256) but the
+        # log-domain value is exact.
+        low = np.zeros(64)
+        high = np.full(64, 1e-4)
+        assert log_rect_volume(low, high) == pytest.approx(64 * math.log(1e-4))
+
+
+class TestSRRegion:
+    @pytest.fixture
+    def region(self):
+        return SRRegion(Sphere([0.5, 0.5], 0.6), Rect([0.0, 0.0], [1.0, 1.0]))
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            SRRegion(Sphere([0.0], 1.0), Rect([0.0, 0.0], [1.0, 1.0]))
+
+    def test_mindist_is_max_of_shapes(self, region):
+        q = np.array([2.0, 0.5])
+        expected = max(region.sphere.mindist(q), region.rect.mindist(q))
+        assert region.mindist(q) == pytest.approx(expected)
+
+    def test_mindist_tighter_than_each_shape(self, region, rng):
+        # The combined bound dominates both single-shape bounds.
+        for _ in range(50):
+            q = rng.random(2) * 4 - 1
+            d = region.mindist(q)
+            assert d >= region.sphere.mindist(q) - 1e-12
+            assert d >= region.rect.mindist(q) - 1e-12
+
+    def test_mindist_valid_lower_bound(self, region, rng):
+        # Any point inside the intersection is at least mindist away.
+        pts = rng.random((500, 2))
+        members = [p for p in pts if region.contains_point(p)]
+        assert members, "sample produced no region members"
+        q = np.array([3.0, -1.0])
+        d = region.mindist(q)
+        for p in members:
+            assert np.linalg.norm(p - q) >= d - 1e-12
+
+    def test_maxdist_valid_upper_bound(self, region, rng):
+        pts = rng.random((500, 2))
+        members = [p for p in pts if region.contains_point(p)]
+        q = np.array([3.0, -1.0])
+        d = region.maxdist(q)
+        for p in members:
+            assert np.linalg.norm(p - q) <= d + 1e-12
+
+    def test_contains_point_requires_both(self, region):
+        # Inside rect, outside sphere.
+        assert not region.contains_point([0.0, 1.0] + np.array([0.0, 0.0]))
+        corner = np.array([0.999, 0.999])
+        assert region.rect.contains_point(corner)
+        assert not region.sphere.contains_point(corner)
+        assert not region.contains_point(corner)
+        assert region.contains_point([0.5, 0.5])
+
+    def test_upper_bound_volume(self, region):
+        assert region.upper_bound_volume() == pytest.approx(
+            min(region.sphere.volume(), region.rect.volume())
+        )
+
+    def test_upper_bound_diameter(self, region):
+        assert region.upper_bound_diameter() == pytest.approx(
+            min(region.sphere.diameter, region.rect.diagonal)
+        )
+
+    def test_dims(self, region):
+        assert region.dims == 2

@@ -1,0 +1,90 @@
+"""Torture tests: degenerate data distributions every index must survive.
+
+High-dimensional index structures are notorious for edge-case failures
+on degenerate inputs — constant dimensions, collinear points, points on
+a simplex face, near-duplicates.  Each case here is exact against brute
+force.
+"""
+
+import numpy as np
+import pytest
+
+from repro.indexes import INDEX_KINDS, build_index
+
+from tests.helpers import brute_force_knn
+
+TREE_KINDS = [k for k in sorted(INDEX_KINDS) if k != "linear"]
+
+
+def check_exact(kind, points, k=7, queries=3, seed=0):
+    index = build_index(kind, points)
+    rng = np.random.default_rng(seed)
+    for _ in range(queries):
+        q = rng.random(points.shape[1])
+        got = [n.value for n in index.nearest(q, k)]
+        want = brute_force_knn(points, q, min(k, len(points)))
+        # Compare by distance (degenerate data is full of exact ties).
+        got_d = sorted(float(np.linalg.norm(points[v] - q)) for v in got)
+        want_d = sorted(float(np.linalg.norm(points[v] - q)) for v in want)
+        np.testing.assert_allclose(got_d, want_d, atol=1e-9)
+    if kind != "linear":
+        index.check_invariants()
+    return index
+
+
+@pytest.mark.parametrize("kind", TREE_KINDS)
+class TestDegenerateDistributions:
+    def test_constant_dimensions(self, kind, rng):
+        # Only 2 of 8 dimensions carry any information.
+        pts = np.full((300, 8), 0.5)
+        pts[:, 0] = rng.random(300)
+        pts[:, 3] = rng.random(300)
+        check_exact(kind, pts)
+
+    def test_collinear_points(self, kind):
+        t = np.linspace(0.0, 1.0, 300)
+        pts = np.outer(t, np.ones(6))  # the main diagonal of the cube
+        check_exact(kind, pts)
+
+    def test_simplex_face(self, kind, rng):
+        # Histogram-like: coordinates sum to one, many zeros.
+        pts = rng.dirichlet(np.full(6, 0.3), size=300)
+        check_exact(kind, pts)
+
+    def test_near_duplicates(self, kind, rng):
+        base = rng.random(5)
+        pts = base + rng.normal(scale=1e-9, size=(200, 5))
+        check_exact(kind, pts, k=5)
+
+    def test_two_far_blobs(self, kind, rng):
+        pts = np.vstack([
+            rng.random((150, 4)) * 1e-3,
+            rng.random((150, 4)) * 1e-3 + 1e6,
+        ])
+        check_exact(kind, pts)
+
+    def test_single_outlier(self, kind, rng):
+        pts = np.vstack([rng.random((299, 4)), np.full((1, 4), 1e9)])
+        index = check_exact(kind, pts)
+        # The outlier must be findable.
+        assert index.nearest(np.full(4, 1e9), 1)[0].value == 299
+
+
+@pytest.mark.parametrize("kind", [k for k in TREE_KINDS if k != "kdb"])
+def test_heavy_duplicates(kind, rng):
+    # Many exact duplicates interleaved with unique points.  (The
+    # K-D-B-tree is excluded: it cannot split a page of identical
+    # points — its documented limitation.)
+    unique = rng.random((100, 3))
+    dup = np.tile(np.array([[0.5, 0.5, 0.5]]), (100, 1))
+    pts = np.vstack([unique, dup])
+    index = build_index(kind, pts)
+    hits = index.within(np.array([0.5, 0.5, 0.5]), 0.0)
+    assert len(hits) >= 100
+    index.check_invariants()
+
+
+@pytest.mark.parametrize("kind", TREE_KINDS)
+def test_tiny_coordinates_no_underflow(kind, rng):
+    pts = rng.random((200, 6)) * 1e-150
+    check_exact(kind, pts)

@@ -1,0 +1,179 @@
+"""Unit tests for repro.search: k-NN, range search, candidates, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyIndexError
+from repro.indexes import SRTree
+from repro.search.knn import KnnCandidates
+from repro.search.metrics import (
+    chebyshev,
+    euclidean,
+    histogram_intersection,
+    manhattan,
+    minkowski,
+)
+
+from tests.helpers import brute_force_knn
+
+
+class TestKnnCandidates:
+    def test_fills_up_to_k(self):
+        c = KnnCandidates(3)
+        for d in (5.0, 1.0, 3.0):
+            c.offer(d, np.array([d]), d)
+        assert len(c) == 3
+        assert c.bound == 5.0
+
+    def test_bound_infinite_while_filling(self):
+        c = KnnCandidates(3)
+        c.offer(1.0, np.array([1.0]), 1)
+        assert c.bound == float("inf")
+
+    def test_replaces_worst(self):
+        c = KnnCandidates(2)
+        c.offer(5.0, np.array([5.0]), "far")
+        c.offer(1.0, np.array([1.0]), "near")
+        c.offer(2.0, np.array([2.0]), "mid")
+        values = [n.value for n in c.results()]
+        assert values == ["near", "mid"]
+
+    def test_ignores_worse_candidate(self):
+        c = KnnCandidates(1)
+        c.offer(1.0, np.array([1.0]), "keep")
+        c.offer(9.0, np.array([9.0]), "drop")
+        assert [n.value for n in c.results()] == ["keep"]
+
+    def test_results_sorted_ascending(self, rng):
+        c = KnnCandidates(10)
+        for _ in range(50):
+            d = float(rng.random())
+            c.offer(d, np.array([d]), d)
+        dists = [n.distance for n in c.results()]
+        assert dists == sorted(dists)
+        assert len(dists) == 10
+
+    def test_offer_batch_matches_sequential(self, rng):
+        pts = rng.random((40, 3))
+        q = rng.random(3)
+        dists = np.linalg.norm(pts - q, axis=1)
+
+        a = KnnCandidates(7)
+        a.offer_batch(dists, pts, list(range(40)))
+        b = KnnCandidates(7)
+        for i in range(40):
+            b.offer(float(dists[i]), pts[i], i)
+        assert [n.value for n in a.results()] == [n.value for n in b.results()]
+
+    def test_ties_preserve_first_seen(self):
+        c = KnnCandidates(1)
+        c.offer(1.0, np.array([0.0]), "first")
+        c.offer(1.0, np.array([0.0]), "second")
+        assert [n.value for n in c.results()] == ["first"]
+
+
+class TestKnnOnTree:
+    @pytest.fixture
+    def tree(self, small_cloud):
+        tree = SRTree(small_cloud.shape[1])
+        tree.load(small_cloud)
+        return tree
+
+    def test_matches_brute_force(self, tree, small_cloud, rng):
+        for _ in range(10):
+            q = rng.random(small_cloud.shape[1])
+            got = [n.value for n in tree.nearest(q, 7)]
+            assert got == brute_force_knn(small_cloud, q, 7)
+
+    def test_query_point_is_own_nearest(self, tree, small_cloud):
+        result = tree.nearest(small_cloud[11], 1)
+        assert result[0].value == 11
+        assert result[0].distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_larger_than_size(self, tree, small_cloud):
+        result = tree.nearest(small_cloud[0], k=len(small_cloud) + 50)
+        assert len(result) == len(small_cloud)
+        dists = [n.distance for n in result]
+        assert dists == sorted(dists)
+
+    def test_k_zero_rejected(self, tree, small_cloud):
+        with pytest.raises(ValueError):
+            tree.nearest(small_cloud[0], k=0)
+
+    def test_empty_index_rejected(self):
+        tree = SRTree(4)
+        with pytest.raises(EmptyIndexError):
+            tree.nearest([0.0, 0.0, 0.0, 0.0], 1)
+
+    def test_neighbor_unpacking(self, tree, small_cloud):
+        dist, point, value = tree.nearest(small_cloud[3], 1)[0]
+        assert dist == pytest.approx(0.0, abs=1e-12)
+        assert value == 3
+        np.testing.assert_allclose(point, small_cloud[3])
+
+    def test_counts_distance_computations(self, tree, small_cloud):
+        before = tree.stats.distance_computations
+        tree.nearest(small_cloud[0], 5)
+        assert tree.stats.distance_computations > before
+
+
+class TestRangeOnTree:
+    @pytest.fixture
+    def tree(self, small_cloud):
+        tree = SRTree(small_cloud.shape[1])
+        tree.load(small_cloud)
+        return tree
+
+    def test_matches_brute_force(self, tree, small_cloud, rng):
+        q = rng.random(small_cloud.shape[1])
+        radius = 0.6
+        got = sorted(n.value for n in tree.within(q, radius))
+        dists = np.linalg.norm(small_cloud - q, axis=1)
+        expected = sorted(int(i) for i in np.nonzero(dists <= radius)[0])
+        assert got == expected
+
+    def test_results_sorted(self, tree, small_cloud):
+        res = tree.within(small_cloud[0], 0.8)
+        dists = [n.distance for n in res]
+        assert dists == sorted(dists)
+
+    def test_zero_radius_finds_exact_point(self, tree, small_cloud):
+        res = tree.within(small_cloud[5], 0.0)
+        assert 5 in [n.value for n in res]
+
+    def test_negative_radius_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.within(np.zeros(8), -1.0)
+
+    def test_huge_radius_returns_everything(self, tree, small_cloud):
+        res = tree.within(np.zeros(8), 100.0)
+        assert len(res) == len(small_cloud)
+
+
+class TestMetrics:
+    def test_euclidean(self):
+        assert euclidean([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert manhattan([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert chebyshev([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_minkowski_generalizes(self):
+        a, b = [0.0, 0.0], [3.0, 4.0]
+        assert minkowski(a, b, 2) == pytest.approx(euclidean(a, b))
+        assert minkowski(a, b, 1) == pytest.approx(manhattan(a, b))
+
+    def test_minkowski_invalid_order(self):
+        with pytest.raises(ValueError):
+            minkowski([0.0], [1.0], 0.5)
+
+    def test_histogram_intersection_identical(self):
+        h = np.full(4, 0.25)
+        assert histogram_intersection(h, h) == pytest.approx(0.0)
+
+    def test_histogram_intersection_disjoint(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert histogram_intersection(a, b) == pytest.approx(1.0)

@@ -1,0 +1,173 @@
+"""Unit tests for the buffer pool and node store."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BufferPinError, StorageError
+from repro.storage.layout import NodeLayout
+from repro.storage.pagefile import InMemoryPageFile
+from repro.storage.stats import IOStats
+from repro.storage.store import NodeStore
+
+
+@pytest.fixture
+def store() -> NodeStore:
+    layout = NodeLayout(dims=4, has_rects=True, has_spheres=True, has_weights=True)
+    return NodeStore(layout, buffer_capacity=8)
+
+
+def fill_leaf(store, n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    leaf = store.new_leaf()
+    for i in range(n):
+        leaf.add(rng.random(4), i)
+    store.write(leaf)
+    return leaf
+
+
+class TestStoreBasics:
+    def test_new_leaf_is_cached(self, store):
+        leaf = fill_leaf(store)
+        # Reading back hits the buffer: same object, no physical read.
+        assert store.read(leaf.page_id) is leaf
+        assert store.stats.page_reads == 0
+
+    def test_cold_read_decodes_and_counts(self, store):
+        leaf = fill_leaf(store)
+        store.drop_cache()
+        reread = store.read(leaf.page_id)
+        assert reread is not leaf
+        assert reread.count == 3
+        assert store.stats.page_reads == 1
+        assert store.stats.leaf_reads == 1
+
+    def test_write_back_counts_physical_write(self, store):
+        fill_leaf(store)
+        assert store.stats.page_writes == 0  # lazy
+        store.flush()
+        assert store.stats.page_writes == 1
+        assert store.stats.leaf_writes == 1
+
+    def test_node_vs_leaf_read_split(self, store):
+        leaf = fill_leaf(store)
+        node = store.new_internal(level=1)
+        node.add(leaf.page_id, low=np.zeros(4), high=np.ones(4),
+                 center=np.full(4, 0.5), radius=1.0, weight=3)
+        store.write(node)
+        store.drop_cache()
+        store.read(node.page_id)
+        store.read(leaf.page_id)
+        assert store.stats.node_reads == 1
+        assert store.stats.leaf_reads == 1
+
+    def test_free_releases_page(self, store):
+        leaf = fill_leaf(store)
+        store.free(leaf)
+        assert store.pagefile.allocated_pages == 0
+
+    def test_page_size_mismatch_rejected(self):
+        layout = NodeLayout(dims=4, has_rects=True, has_spheres=False,
+                            has_weights=False, page_size=8192)
+        with pytest.raises(StorageError):
+            NodeStore(layout, pagefile=InMemoryPageFile(page_size=4096))
+
+    def test_shared_stats_object(self):
+        layout = NodeLayout(dims=4, has_rects=True, has_spheres=False,
+                            has_weights=False)
+        stats = IOStats()
+        store = NodeStore(layout, stats=stats)
+        leaf = store.new_leaf()
+        store.drop_cache()
+        store.read(leaf.page_id)
+        assert stats.page_reads == 1
+
+
+class TestEviction:
+    def test_lru_eviction_writes_back_dirty(self, store):
+        leaves = [fill_leaf(store, seed=i) for i in range(12)]
+        # Capacity is 8: the four oldest must have been written back.
+        assert store.stats.page_writes >= 4
+        store.drop_cache()
+        for leaf in leaves:
+            assert store.read(leaf.page_id).count == 3
+
+    def test_mutations_survive_eviction_cycles(self, store):
+        leaf = fill_leaf(store)
+        page_id = leaf.page_id
+        # Evict it by flooding the pool.
+        for i in range(20):
+            fill_leaf(store, seed=100 + i)
+        reread = store.read(page_id)
+        assert reread.count == 3
+
+    def test_pinned_pages_survive_flood(self, store):
+        leaf = fill_leaf(store)
+        store.pin(leaf.page_id)
+        for i in range(20):
+            fill_leaf(store, seed=200 + i)
+        # Still the same object: it was never evicted.
+        assert store.read(leaf.page_id) is leaf
+        store.unpin(leaf.page_id)
+
+    def test_all_pinned_raises(self, store):
+        leaves = [fill_leaf(store, seed=i) for i in range(8)]
+        for leaf in leaves:
+            store.pin(leaf.page_id)
+        with pytest.raises(BufferPinError):
+            fill_leaf(store, seed=99)
+
+    def test_hit_miss_counters(self, store):
+        leaf = fill_leaf(store)
+        store.read(leaf.page_id)
+        assert store.buffer.hits >= 1
+        store.drop_cache()
+        store.read(leaf.page_id)
+        assert store.buffer.misses >= 1
+
+
+class TestMeta:
+    def test_meta_roundtrip(self, store):
+        store.write_meta({"index": "srtree", "size": 42})
+        assert store.read_meta() == {"index": "srtree", "size": 42}
+
+    def test_corrupt_meta(self, store):
+        store.pagefile.write(0, b"garbage")
+        with pytest.raises(StorageError):
+            store.read_meta()
+
+    def test_non_dict_meta_rejected(self, store):
+        import pickle
+        store.pagefile.write(0, pickle.dumps([1, 2, 3]))
+        with pytest.raises(StorageError):
+            store.read_meta()
+
+
+class TestStats:
+    def test_snapshot_and_since(self):
+        stats = IOStats()
+        stats.page_reads = 5
+        snap = stats.snapshot()
+        stats.page_reads = 9
+        assert stats.since(snap).page_reads == 4
+        assert snap.page_reads == 5
+
+    def test_reset(self):
+        stats = IOStats(page_reads=3, leaf_writes=2, distance_computations=7)
+        stats.reset()
+        assert stats.page_reads == 0
+        assert stats.distance_computations == 0
+
+    def test_add(self):
+        a = IOStats(page_reads=1, node_reads=1)
+        b = IOStats(page_reads=2, leaf_reads=3)
+        c = a + b
+        assert c.page_reads == 3
+        assert c.node_reads == 1
+        assert c.leaf_reads == 3
+
+    def test_disk_accesses(self):
+        stats = IOStats(page_reads=4, page_writes=6)
+        assert stats.disk_accesses == 10
+
+    def test_str_mentions_reads(self):
+        assert "reads=0" in str(IOStats())

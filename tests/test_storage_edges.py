@@ -1,0 +1,128 @@
+"""Edge-case tests for the storage engine and dynamic-tree internals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PageNotFoundError, StorageError
+from repro.indexes import SRTree
+from repro.storage.buffer import BufferPool
+from repro.storage.layout import NodeLayout
+from repro.storage.pagefile import FilePageFile, InMemoryPageFile
+from repro.storage.store import NodeStore
+
+
+class TestPageFileEdges:
+    def test_free_unknown_page(self):
+        pf = InMemoryPageFile(page_size=128)
+        with pytest.raises(PageNotFoundError):
+            pf.free(17)
+
+    def test_reopen_resumes_allocation(self, tmp_path):
+        path = tmp_path / "resume.db"
+        pf = FilePageFile(path, page_size=128)
+        ids = [pf.allocate() for _ in range(5)]
+        for i in ids:
+            pf.write(i, b"z")
+        pf.close()
+        reopened = FilePageFile(path, page_size=128, create=False)
+        fresh = reopened.allocate()
+        assert fresh not in ids, "reopened file must not reuse live pages"
+        reopened.close()
+
+    def test_memory_free_then_read_fails(self):
+        pf = InMemoryPageFile(page_size=128)
+        pid = pf.allocate()
+        pf.write(pid, b"gone")
+        pf.free(pid)
+        with pytest.raises(PageNotFoundError):
+            pf.read(pid)
+
+
+class TestBufferPoolEdges:
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            BufferPool(2, write_back=lambda node: None)
+
+    def test_nodes_iterator(self):
+        layout = NodeLayout(dims=2, has_rects=True, has_spheres=False,
+                            has_weights=False)
+        store = NodeStore(layout, buffer_capacity=8)
+        made = {store.new_leaf().page_id for _ in range(3)}
+        cached = {node.page_id for node in store.buffer.nodes()}
+        assert made <= cached
+
+    def test_mark_dirty_unknown_page_noop(self):
+        layout = NodeLayout(dims=2, has_rects=True, has_spheres=False,
+                            has_weights=False)
+        store = NodeStore(layout, buffer_capacity=8)
+        store.buffer.mark_dirty(999)  # must not raise
+
+    def test_unpin_never_negative(self):
+        layout = NodeLayout(dims=2, has_rects=True, has_spheres=False,
+                            has_weights=False)
+        store = NodeStore(layout, buffer_capacity=8)
+        leaf = store.new_leaf()
+        store.unpin(leaf.page_id)
+        store.unpin(leaf.page_id)
+        store.pin(leaf.page_id)
+        store.unpin(leaf.page_id)
+
+
+class TestStoreEdges:
+    def test_meta_too_large(self):
+        layout = NodeLayout(dims=2, has_rects=True, has_spheres=False,
+                            has_weights=False, page_size=4096)
+        store = NodeStore(layout)
+        with pytest.raises(StorageError):
+            store.write_meta({"blob": "x" * 10000})
+
+    def test_close_flushes(self, tmp_path):
+        layout = NodeLayout(dims=2, has_rects=True, has_spheres=False,
+                            has_weights=False)
+        pf = FilePageFile(tmp_path / "c.db")
+        store = NodeStore(layout, pagefile=pf)
+        leaf = store.new_leaf()
+        leaf.add(np.array([0.5, 0.5]), "v")
+        store.write(leaf)
+        store.close()
+        reopened = FilePageFile(tmp_path / "c.db", create=False)
+        fresh = NodeStore(layout, pagefile=reopened)
+        assert fresh.read(leaf.page_id).values == ["v"]
+        fresh.close()
+
+
+class TestDynamicInternals:
+    def test_extent_for(self):
+        tree = SRTree(16)  # base node capacity 20
+        assert tree._extent_for(1) == 1
+        assert tree._extent_for(20) == 1
+        assert tree._extent_for(21) == 2
+        assert tree._extent_for(60) >= 3
+
+    def test_row_entry_rect_only_uses_rect_center(self, rng):
+        from repro.indexes import RStarTree
+
+        tree = RStarTree(2)
+        tree.load(rng.random((60, 2)))
+        root = tree.read_node(tree.root_id)
+        assert not root.is_leaf
+        entry = tree._row_entry(root, 0)
+        np.testing.assert_allclose(
+            entry.center, 0.5 * (root.lows[0] + root.highs[0])
+        )
+        assert entry.radius == 0.0
+
+    def test_find_point_misses_cleanly(self, rng):
+        tree = SRTree(3)
+        tree.load(rng.random((50, 3)))
+        assert tree._find_point(np.full(3, 42.0), ...) is None
+
+    def test_delete_last_point_leaves_empty_root(self):
+        tree = SRTree(2)
+        tree.insert([0.5, 0.5], "only")
+        tree.delete([0.5, 0.5])
+        assert tree.size == 0
+        assert tree.height == 1
+        # And the tree is immediately reusable.
+        tree.insert([0.1, 0.1], "again")
+        assert tree.nearest([0.0, 0.0], 1)[0].value == "again"

@@ -1,0 +1,113 @@
+"""Unit tests for repro.storage.pagefile."""
+
+import pytest
+
+from repro.exceptions import PageNotFoundError, PageOverflowError
+from repro.storage.constants import META_PAGE_ID
+from repro.storage.pagefile import FilePageFile, InMemoryPageFile
+
+
+@pytest.fixture(params=["memory", "file"])
+def pagefile(request, tmp_path):
+    if request.param == "memory":
+        yield InMemoryPageFile(page_size=256)
+    else:
+        pf = FilePageFile(tmp_path / "pages.db", page_size=256)
+        yield pf
+        pf.close()
+
+
+class TestAllocation:
+    def test_never_hands_out_meta_page(self, pagefile):
+        ids = [pagefile.allocate() for _ in range(10)]
+        assert META_PAGE_ID not in ids
+        assert len(set(ids)) == 10
+
+    def test_free_recycles(self, pagefile):
+        a = pagefile.allocate()
+        pagefile.write(a, b"x")
+        pagefile.free(a)
+        b = pagefile.allocate()
+        assert b == a
+
+    def test_allocated_pages_counter(self, pagefile):
+        assert pagefile.allocated_pages == 0
+        a = pagefile.allocate()
+        pagefile.allocate()
+        assert pagefile.allocated_pages == 2
+        pagefile.free(a)
+        assert pagefile.allocated_pages == 1
+
+
+class TestReadWrite:
+    def test_roundtrip(self, pagefile):
+        pid = pagefile.allocate()
+        pagefile.write(pid, b"hello world")
+        data = pagefile.read(pid)
+        assert data[:11] == b"hello world"
+
+    def test_overwrite(self, pagefile):
+        pid = pagefile.allocate()
+        pagefile.write(pid, b"first")
+        pagefile.write(pid, b"second")
+        assert pagefile.read(pid)[:6] == b"second"
+
+    def test_rejects_oversized(self, pagefile):
+        pid = pagefile.allocate()
+        with pytest.raises(PageOverflowError):
+            pagefile.write(pid, b"x" * 257)
+
+    def test_exact_page_size_ok(self, pagefile):
+        pid = pagefile.allocate()
+        pagefile.write(pid, b"y" * 256)
+        assert pagefile.read(pid) == b"y" * 256
+
+    def test_unknown_page_raises(self, pagefile):
+        with pytest.raises(PageNotFoundError):
+            pagefile.read(99)
+
+    def test_meta_page_accessible(self, pagefile):
+        pagefile.write(META_PAGE_ID, b"meta")
+        assert pagefile.read(META_PAGE_ID)[:4] == b"meta"
+
+    def test_many_pages_independent(self, pagefile):
+        ids = [pagefile.allocate() for _ in range(20)]
+        for i, pid in enumerate(ids):
+            pagefile.write(pid, bytes([i]) * 16)
+        for i, pid in enumerate(ids):
+            assert pagefile.read(pid)[:16] == bytes([i]) * 16
+
+
+class TestFileBacked:
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "persist.db"
+        pf = FilePageFile(path, page_size=128)
+        pid = pf.allocate()
+        pf.write(pid, b"durable")
+        pf.sync()
+        pf.close()
+
+        reopened = FilePageFile(path, page_size=128, create=False)
+        assert reopened.read(pid)[:7] == b"durable"
+        reopened.close()
+
+    def test_missing_file_without_create(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FilePageFile(tmp_path / "absent.db", create=False)
+
+    def test_file_read_pads_to_page_size(self, tmp_path):
+        pf = FilePageFile(tmp_path / "pad.db", page_size=128)
+        pid = pf.allocate()
+        pf.write(pid, b"short")
+        assert len(pf.read(pid)) == 128
+        pf.close()
+
+    def test_context_manager(self, tmp_path):
+        with FilePageFile(tmp_path / "ctx.db", page_size=128) as pf:
+            pid = pf.allocate()
+            pf.write(pid, b"ok")
+        assert pf._file.closed
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FilePageFile(tmp_path / "tiny.db", page_size=16)

@@ -1,0 +1,110 @@
+"""Storage-level tests for multi-page (supernode) node support."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PageOverflowError
+from repro.storage.layout import NodeLayout
+from repro.storage.serializer import NodeCodec
+from repro.storage.store import NodeStore
+
+
+@pytest.fixture
+def layout() -> NodeLayout:
+    return NodeLayout(dims=16, has_rects=True, has_spheres=True, has_weights=True)
+
+
+@pytest.fixture
+def store(layout) -> NodeStore:
+    return NodeStore(layout, buffer_capacity=8)
+
+
+def fill(node, rng, count):
+    for i in range(count):
+        low = rng.random(16)
+        node.add(100 + i, low=low, high=low + 0.1, center=low,
+                 radius=0.2, weight=5)
+
+
+class TestLayout:
+    def test_capacity_grows_with_extent(self, layout):
+        caps = [layout.node_capacity_for(e) for e in (1, 2, 3, 4)]
+        assert caps[0] == layout.node_capacity == 20
+        assert caps == sorted(caps)
+        # Roughly e pages' worth, minus the continuation-pointer overhead.
+        assert caps[1] in (40, 41)
+        assert caps[3] >= 4 * caps[0]
+
+    def test_invalid_extent(self, layout):
+        with pytest.raises(ValueError):
+            layout.node_capacity_for(0)
+
+
+class TestSupernodeRoundTrip:
+    def test_codec_roundtrip_two_pages(self, layout, rng):
+        codec = NodeCodec(layout)
+        from repro.storage.nodes import InternalNode
+
+        node = InternalNode(7, 16, layout.node_capacity_for(2), level=1,
+                            has_rects=True, has_spheres=True, has_weights=True)
+        node.extra_pages = [99]
+        fill(node, rng, 35)  # more than a single page holds
+        image = codec.encode(node)
+        assert len(image) > layout.page_size
+        extent, extras = codec.peek_extent(image[: layout.page_size])
+        assert extent == 2 and extras == [99]
+        decoded = codec.decode(7, image)
+        assert decoded.count == 35
+        assert decoded.extent == 2
+        assert decoded.extra_pages == [99]
+        np.testing.assert_array_equal(decoded.lows[:35], node.lows[:35])
+
+    def test_overflow_guard_respects_extent(self, layout, rng):
+        codec = NodeCodec(layout)
+        from repro.storage.nodes import InternalNode
+
+        node = InternalNode(7, 16, layout.node_capacity_for(1) + 5, level=1,
+                            has_rects=True, has_spheres=True, has_weights=True)
+        fill(node, rng, layout.node_capacity_for(1) + 3)
+        with pytest.raises(PageOverflowError):
+            codec.encode(node)  # extent 1 cannot hold that many
+
+    def test_store_roundtrip_through_pages(self, store, rng):
+        node = store.new_internal(level=1, extent=3)
+        assert node.extent == 3
+        assert node.capacity == store.layout.node_capacity_for(3)
+        fill(node, rng, 50)
+        store.write(node)
+        store.drop_cache()
+        reread = store.read(node.page_id)
+        assert reread.count == 50
+        assert reread.extent == 3
+        assert reread.extra_pages == node.extra_pages
+        np.testing.assert_array_equal(reread.centers[:50], node.centers[:50])
+
+    def test_reading_supernode_counts_extent_pages(self, store, rng):
+        node = store.new_internal(level=1, extent=3)
+        fill(node, rng, 10)
+        store.write(node)
+        store.drop_cache()
+        before = store.stats.snapshot()
+        store.read(node.page_id)
+        delta = store.stats.since(before)
+        assert delta.page_reads == 3
+        assert delta.node_reads == 3
+
+    def test_writing_supernode_counts_extent_pages(self, store, rng):
+        node = store.new_internal(level=1, extent=2)
+        fill(node, rng, 10)
+        store.write(node)
+        before = store.stats.snapshot()
+        store.flush()
+        assert store.stats.since(before).page_writes == 2
+
+    def test_free_releases_every_page(self, store, rng):
+        node = store.new_internal(level=1, extent=3)
+        fill(node, rng, 5)
+        store.write(node)
+        allocated = store.pagefile.allocated_pages
+        store.free(node)
+        assert store.pagefile.allocated_pages == allocated - 3

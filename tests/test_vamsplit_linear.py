@@ -1,0 +1,117 @@
+"""Unit tests for the VAMSplit R-tree and the linear-scan baseline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyIndexError
+from repro.indexes.linear import LinearScan
+from repro.indexes.vamsplit import VAMSplitRTree
+
+from tests.helpers import brute_force_knn
+
+
+class TestVAMSplitConstruction:
+    def test_static_insert_rejected(self):
+        tree = VAMSplitRTree(3)
+        with pytest.raises(NotImplementedError):
+            tree.insert([0.0, 0.0, 0.0])
+
+    def test_build_twice_rejected(self, rng):
+        tree = VAMSplitRTree(3)
+        tree.build(rng.random((30, 3)))
+        with pytest.raises(RuntimeError):
+            tree.build(rng.random((30, 3)))
+
+    def test_empty_build(self):
+        tree = VAMSplitRTree(3)
+        tree.build(np.empty((0, 3)))
+        assert tree.size == 0
+        with pytest.raises(EmptyIndexError):
+            tree.nearest([0.0, 0.0, 0.0], 1)
+
+    def test_wrong_shape_rejected(self, rng):
+        tree = VAMSplitRTree(3)
+        with pytest.raises(ValueError):
+            tree.build(rng.random((10, 5)))
+
+    def test_values_length_mismatch(self, rng):
+        tree = VAMSplitRTree(3)
+        with pytest.raises(ValueError):
+            tree.build(rng.random((10, 3)), values=[1, 2])
+
+    def test_minimal_block_count(self, rng):
+        # The VAM split's guarantee: full leaves except for the slack of
+        # one partial block per group, i.e. near-minimal leaf count.
+        pts = rng.random((1000, 8))
+        tree = VAMSplitRTree(8)
+        tree.build(pts)
+        optimal = int(np.ceil(1000 / tree.leaf_capacity))
+        assert tree.leaf_count() <= int(optimal * 1.25) + 1
+
+    def test_packs_better_than_dynamic_trees(self, rng):
+        from repro.indexes.rstar import RStarTree
+
+        pts = rng.random((1000, 8))
+        static = VAMSplitRTree(8)
+        static.build(pts)
+        dynamic = RStarTree(8)
+        dynamic.load(pts)
+        assert static.leaf_count() <= dynamic.leaf_count()
+
+    def test_exactness_across_sizes(self, rng):
+        for n in (1, 5, 12, 13, 150, 700):
+            pts = rng.random((n, 4))
+            tree = VAMSplitRTree(4)
+            tree.build(pts)
+            assert tree.size == n
+            tree.check_invariants()
+            q = rng.random(4)
+            k = min(5, n)
+            assert [x.value for x in tree.nearest(q, k)] == brute_force_knn(pts, q, k)
+
+    def test_custom_values(self, rng):
+        pts = rng.random((20, 3))
+        tree = VAMSplitRTree(3)
+        tree.build(pts, values=[f"v{i}" for i in range(20)])
+        assert tree.nearest(pts[4], 1)[0].value == "v4"
+
+
+class TestLinearScan:
+    def test_reads_every_page(self, rng):
+        pts = rng.random((200, 4))
+        scan = LinearScan(4)
+        scan.load(pts)
+        pages = len(scan._leaf_ids)
+        scan.store.drop_cache()
+        before = scan.stats.snapshot()
+        scan.nearest(pts[0], 5)
+        assert scan.stats.since(before).page_reads == pages
+
+    def test_exact(self, rng):
+        pts = rng.random((137, 5))
+        scan = LinearScan(5)
+        scan.load(pts)
+        q = rng.random(5)
+        assert [n.value for n in scan.nearest(q, 9)] == brute_force_knn(pts, q, 9)
+
+    def test_within(self, rng):
+        pts = rng.random((137, 5))
+        scan = LinearScan(5)
+        scan.load(pts)
+        q = rng.random(5)
+        got = sorted(n.value for n in scan.within(q, 0.5))
+        dists = np.linalg.norm(pts - q, axis=1)
+        assert got == sorted(int(i) for i in np.nonzero(dists <= 0.5)[0])
+
+    def test_empty_queries_rejected(self):
+        scan = LinearScan(2)
+        with pytest.raises(EmptyIndexError):
+            scan.nearest([0.0, 0.0], 1)
+        with pytest.raises(ValueError):
+            scan.load(np.zeros((1, 2)))[0] if False else scan.within([0, 0], -1)
+
+    def test_page_chain_grows(self, rng):
+        scan = LinearScan(4)
+        scan.load(rng.random((100, 4)))
+        expected_pages = int(np.ceil(100 / scan.leaf_capacity))
+        assert len(scan._leaf_ids) == expected_pages
