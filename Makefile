@@ -1,6 +1,13 @@
 # Convenience targets for development and reproduction runs.
 
-.PHONY: install test bench examples all
+.PHONY: install lint test bench examples all
+
+# Byte-compile everything and run the dependency-free pyflakes-level
+# checker (tools/lint.py upgrades itself to real pyflakes when
+# installed).  CI runs this on every push/PR (.github/workflows/ci.yml).
+lint:
+	python -m compileall -q src tests benchmarks examples tools
+	python tools/lint.py
 
 # `pip install -e .` needs the `wheel` package for PEP 517 editable
 # builds; offline environments fall back to the legacy setuptools path.
@@ -25,4 +32,4 @@ examples:
 	python examples/image_retrieval.py
 	python examples/index_shootout.py
 
-all: install test bench
+all: install lint test bench

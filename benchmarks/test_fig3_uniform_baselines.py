@@ -8,7 +8,6 @@ dynamic structures the SS-tree clearly beats both the R*-tree and the
 K-D-B-tree.
 """
 
-import numpy as np
 from conftest import archive, by_kind
 
 from repro.bench.experiments import (

@@ -17,8 +17,6 @@ corpus (the stand-in for the paper's real CMU data, see DESIGN.md):
 Run with:  python examples/image_retrieval.py
 """
 
-import numpy as np
-
 from repro import LinearScan, SRTree, SSTree, histogram_dataset
 from repro.search.metrics import histogram_intersection
 

@@ -12,8 +12,6 @@ essentials in about a minute of runtime:
 Run with:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro import SRTree, uniform_dataset
 
 

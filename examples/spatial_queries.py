@@ -16,8 +16,6 @@ Run with:  python examples/spatial_queries.py
 
 from itertools import islice
 
-import numpy as np
-
 from repro import SRTree, cluster_dataset
 
 

@@ -49,6 +49,7 @@ from .indexes import (
     make_index,
     open_index,
 )
+from .obs import REGISTRY, MetricsRegistry, explain, render, trace
 from .storage import FilePageFile, InMemoryPageFile, IOStats
 from .workloads import (
     PAPER_K,
@@ -71,8 +72,10 @@ __all__ = [
     "KDBTree",
     "KeyNotFoundError",
     "LinearScan",
+    "MetricsRegistry",
     "Neighbor",
     "PAPER_K",
+    "REGISTRY",
     "RStarTree",
     "RTree",
     "Rect",
@@ -90,9 +93,12 @@ __all__ = [
     "build_index",
     "bulk_load",
     "cluster_dataset",
+    "explain",
     "histogram_dataset",
     "make_index",
     "open_index",
+    "render",
     "sample_queries",
+    "trace",
     "uniform_dataset",
 ]

@@ -17,19 +17,51 @@ Reproduces the paper's measurement methodology (Section 3.1):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..indexes import build_index
 from ..indexes.base import SpatialIndex
+from ..obs import REGISTRY
 
-__all__ = ["QueryCost", "BuildCost", "run_query_batch", "build_with_cost"]
+__all__ = [
+    "QueryCost",
+    "BuildCost",
+    "run_query_batch",
+    "build_with_cost",
+    "metrics_delta",
+]
+
+
+def metrics_delta(before: dict[str, float],
+                  after: dict[str, float] | None = None) -> dict[str, float]:
+    """Per-run metric snapshot: flat registry samples that changed.
+
+    ``before`` is a :meth:`~repro.obs.registry.MetricsRegistry.flatten`
+    dump taken before the run; ``after`` defaults to the registry's
+    current state.  Returns only the samples whose value changed (new
+    samples count from zero), so a benchmark report carries exactly the
+    metric activity of its own run.
+    """
+    if after is None:
+        after = REGISTRY.flatten()
+    delta: dict[str, float] = {}
+    for name, value in after.items():
+        diff = value - before.get(name, 0.0)
+        if diff:
+            delta[name] = diff
+    return delta
 
 
 @dataclass(frozen=True)
 class QueryCost:
-    """Per-query averages over a batch of k-NN searches."""
+    """Per-query averages over a batch of k-NN searches.
+
+    ``buffer_hit_ratio`` is the pool hit ratio over the batch (0.0 for
+    cold runs, by construction).  ``metrics`` is the per-run metrics
+    registry snapshot (flat sample deltas, see :func:`metrics_delta`).
+    """
 
     queries: int
     k: int
@@ -38,17 +70,25 @@ class QueryCost:
     node_reads: float
     leaf_reads: float
     distance_computations: float
+    buffer_hit_ratio: float = 0.0
+    metrics: dict = field(default_factory=dict, compare=False)
 
 
 @dataclass(frozen=True)
 class BuildCost:
-    """Per-insert averages over the construction of an index."""
+    """Per-insert averages over the construction of an index.
+
+    ``metrics`` is the per-run metrics registry snapshot (flat sample
+    deltas covering the build: inserts, splits, reinsertions, ...).
+    """
 
     points: int
     cpu_ms: float
     disk_accesses: float
     page_reads: float
     page_writes: float
+    buffer_hit_ratio: float = 0.0
+    metrics: dict = field(default_factory=dict, compare=False)
 
 
 def run_query_batch(
@@ -69,6 +109,7 @@ def run_query_batch(
 
     total_cpu = 0.0
     before_all = index.stats.snapshot()
+    metrics_before = REGISTRY.flatten()
     for query in queries:
         if cold:
             index.store.drop_cache()
@@ -85,6 +126,8 @@ def run_query_batch(
         node_reads=delta.node_reads / n,
         leaf_reads=delta.leaf_reads / n,
         distance_computations=delta.distance_computations / n,
+        buffer_hit_ratio=delta.hit_ratio,
+        metrics=metrics_delta(metrics_before),
     )
 
 
@@ -92,6 +135,7 @@ def build_with_cost(kind: str, points: np.ndarray, **kwargs) -> tuple[SpatialInd
     """Build an index over ``points`` and measure the construction cost."""
     points = np.ascontiguousarray(points, dtype=np.float64)
     n = points.shape[0]
+    metrics_before = REGISTRY.flatten()
     start = time.perf_counter()
     index = build_index(kind, points, **kwargs)
     elapsed = time.perf_counter() - start
@@ -103,6 +147,8 @@ def build_with_cost(kind: str, points: np.ndarray, **kwargs) -> tuple[SpatialInd
         disk_accesses=stats.disk_accesses / max(n, 1),
         page_reads=stats.page_reads / max(n, 1),
         page_writes=stats.page_writes / max(n, 1),
+        buffer_hit_ratio=stats.hit_ratio,
+        metrics=metrics_delta(metrics_before),
     )
     index.stats.reset()
     return index, cost

@@ -16,13 +16,22 @@ Usage (also via ``python -m repro``)::
     python -m repro query --index images.srtree --point 0.1,0.2,... -k 21
     python -m repro query --index images.srtree --row 123 --data data.npy
 
+    # EXPLAIN the traversal: per-level visit/prune breakdown.
+    python -m repro query --index images.srtree --row 123 --data data.npy \\
+        --explain
+
+    # Exercise an index and dump the metrics registry (Prometheus text).
+    python -m repro stats --index images.srtree --queries 20 --format prom
+
 The query command also reports the paper's cost metric (pages read by
-the cold query).
+the cold query); see ``docs/OBSERVABILITY.md`` for the metric catalog
+and the tracing API behind ``--explain``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -30,12 +39,14 @@ import numpy as np
 
 from .analysis import describe
 from .indexes import INDEX_KINDS, build_index, open_index
+from .obs import REGISTRY, explain, render, trace
 from .workloads import cluster_dataset, histogram_dataset, uniform_dataset
 
 __all__ = ["main"]
 
 _BUILDABLE = sorted(k for k in INDEX_KINDS)
 _FAMILIES = ("uniform", "cluster", "real")
+_STATS_FORMATS = ("prom", "json", "text")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,7 +98,29 @@ def _build_parser() -> argparse.ArgumentParser:
     point.add_argument("--row", type=int,
                        help="row of --data to use as the query point")
     query.add_argument("--data", help=".npy file for --row queries")
+    query.add_argument("--explain", action="store_true",
+                       help="trace the traversal and print a per-level "
+                            "visit/prune breakdown (EXPLAIN)")
     query.set_defaults(handler=_cmd_query)
+
+    stats = sub.add_parser(
+        "stats",
+        help="exercise an index and dump the metrics registry",
+        description="Runs a batch of cold k-NN queries against a saved "
+                    "index to populate the metrics registry, then dumps "
+                    "the registry (Prometheus text by default).  Without "
+                    "--index, dumps whatever the current process has "
+                    "recorded (empty in a fresh CLI invocation).",
+    )
+    stats.add_argument("--index", help="saved index file to exercise")
+    stats.add_argument("--queries", type=int, default=20,
+                       help="number of sample k-NN queries to run (default 20)")
+    stats.add_argument("-k", type=int, default=21)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--format", choices=_STATS_FORMATS, default="prom",
+                       help="output format: Prometheus text exposition, "
+                            "JSON, or a flat name=value listing")
+    stats.set_defaults(handler=_cmd_stats)
 
     return parser
 
@@ -146,7 +179,13 @@ def _cmd_query(args) -> int:
         index.store.drop_cache()
         before = index.stats.snapshot()
         start = time.perf_counter()
-        neighbors = index.nearest(point, k=args.k)
+        if args.explain:
+            trace.enable()
+            with trace.span("knn", k=args.k) as span:
+                neighbors = index.nearest(point, k=args.k)
+        else:
+            span = None
+            neighbors = index.nearest(point, k=args.k)
         elapsed = (time.perf_counter() - start) * 1e3
         cost = index.stats.since(before)
         for n in neighbors:
@@ -154,9 +193,57 @@ def _cmd_query(args) -> int:
         print(f"-- {len(neighbors)} neighbors, {cost.page_reads} page reads "
               f"({cost.node_reads} node + {cost.leaf_reads} leaf), "
               f"{elapsed:.2f} ms")
+        if span is not None:
+            print()
+            print(explain(span))
+            trace.disable()
     finally:
         index.store.close()
     return 0
+
+
+def _cmd_stats(args) -> int:
+    if args.index:
+        index = open_index(args.index)
+        try:
+            _exercise_index(index, queries=args.queries, k=args.k,
+                            seed=args.seed)
+        finally:
+            index.store.close()
+    _print_registry(args.format)
+    return 0
+
+
+def _exercise_index(index, *, queries: int, k: int, seed: int) -> None:
+    """Run cold sample k-NN queries so the registry has something to say."""
+    if queries < 1 or index.size == 0:
+        return
+    rng = np.random.default_rng(seed)
+    sample = max(queries, 1)
+    reservoir: list[np.ndarray] = []
+    for i, (point, _value) in enumerate(index.iter_points()):
+        if len(reservoir) < sample:
+            reservoir.append(point)
+        else:
+            j = int(rng.integers(0, i + 1))
+            if j < sample:
+                reservoir[j] = point
+        if i >= 20 * sample:
+            break
+    k = min(k, index.size)
+    for point in reservoir[:queries]:
+        index.store.drop_cache()
+        index.nearest(point, k=k)
+
+
+def _print_registry(fmt: str) -> None:
+    if fmt == "prom":
+        sys.stdout.write(render(REGISTRY))
+    elif fmt == "json":
+        print(json.dumps(REGISTRY.to_dict(), indent=2, sort_keys=True))
+    else:
+        for name, value in sorted(REGISTRY.flatten().items()):
+            print(f"{name} {value}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..exceptions import EmptyIndexError
 from ..geometry import as_point
+from ..obs.hooks import observed_query, on_flush
 from ..storage import (
     DEFAULT_BUFFER_CAPACITY,
     DEFAULT_LEAF_DATA_SIZE,
@@ -255,9 +256,11 @@ class SpatialIndex(ABC):
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         if algorithm == "depth-first":
-            return knn_search(self, as_point(point, self.dims), k)
+            with observed_query(self, "knn"):
+                return knn_search(self, as_point(point, self.dims), k)
         if algorithm == "best-first":
-            return knn_search_best_first(self, as_point(point, self.dims), k)
+            with observed_query(self, "knn_best_first"):
+                return knn_search_best_first(self, as_point(point, self.dims), k)
         raise ValueError(
             f"unknown algorithm {algorithm!r}; use 'depth-first' or 'best-first'"
         )
@@ -268,15 +271,17 @@ class SpatialIndex(ABC):
 
         if radius < 0:
             raise ValueError(f"radius must be non-negative, got {radius}")
-        return range_search(self, as_point(point, self.dims), float(radius))
+        with observed_query(self, "range"):
+            return range_search(self, as_point(point, self.dims), float(radius))
 
     def window(self, low, high) -> list[Neighbor]:
         """All stored points inside the axis-aligned box ``[low, high]``."""
         from ..search.window import window_search
 
-        return window_search(
-            self, as_point(low, self.dims), as_point(high, self.dims)
-        )
+        with observed_query(self, "window"):
+            return window_search(
+                self, as_point(low, self.dims), as_point(high, self.dims)
+            )
 
     def lookup(self, point) -> list[object]:
         """Exact-match point query: the payloads stored at ``point``.
@@ -296,8 +301,10 @@ class SpatialIndex(ABC):
         up front, and only the pages required for the neighbors actually
         consumed are read.  Optionally bounded by ``max_distance``.
         """
+        from ..obs.hooks import on_incremental_query
         from ..search.incremental import iter_nearest
 
+        on_incremental_query(self)
         return iter_nearest(self, as_point(point, self.dims), max_distance)
 
     # ------------------------------------------------------------------
@@ -358,6 +365,7 @@ class SpatialIndex(ABC):
         meta.update(self._extra_meta())
         self._store.write_meta(meta)
         self._store.flush()
+        on_flush(self)
 
     def _extra_meta(self) -> dict:
         """Subclass hook: extra metadata persisted with :meth:`save`."""

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..exceptions import KeyNotFoundError
 from ..geometry import as_point
+from ..obs import hooks as _obs
 from ..storage.nodes import InternalNode, LeafNode
 from .base import Entry, SpatialIndex
 
@@ -88,6 +89,7 @@ class DynamicTree(SpatialIndex):
         self._reinserted_levels: set[int] = set()
         self._insert_entry(Entry.for_point(point.copy(), value), 0)
         self._size += 1
+        _obs.on_insert(self)
 
     def bulk_load(self, points, values=None) -> None:
         """Pack a complete data set into this (empty) tree bottom-up.
@@ -121,6 +123,7 @@ class DynamicTree(SpatialIndex):
         leaf.count -= 1
         self._size -= 1
         self._condense(path)
+        _obs.on_delete(self)
 
     # ------------------------------------------------------------------
     # insertion machinery
@@ -189,6 +192,7 @@ class DynamicTree(SpatialIndex):
         """Shed a fraction of an overflowing node's entries and reinsert them."""
         node = path[-1]
         self._mark_reinserted(node)
+        _obs.on_reinsert(self, node)
         count = max(1, int(self._config.reinsert_fraction * node.count))
         indices = self._reinsert_indices(node, count)
         evicted = self._remove_entries(node, indices)
@@ -211,8 +215,10 @@ class DynamicTree(SpatialIndex):
         node = path[-1]
         group_a, group_b = self._split_indices(node)
         if not node.is_leaf and self._prefer_supernode(node, group_a, group_b):
+            _obs.on_supernode_growth(self)
             self._grow_supernode(path)
             return
+        _obs.on_split(self, node)
         left, right = self._split_into_two(node, group_a, group_b)
         self._replace_split_node(path, node, left, right)
 

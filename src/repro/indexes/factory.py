@@ -7,8 +7,11 @@ entry point that hides the static/dynamic construction difference.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..obs.hooks import on_build
 from .base import SpatialIndex
 from .kdb import KDBTree
 from .linear import LinearScan
@@ -60,10 +63,12 @@ def build_index(kind: str, points, values=None, **kwargs) -> SpatialIndex:
     if points.ndim != 2:
         raise ValueError("expected an (N, D) array of points")
     index = make_index(kind, points.shape[1], **kwargs)
+    start = time.perf_counter()
     if isinstance(index, VAMSplitRTree):
         index.build(points, values)
     else:
         index.load(points, values)
+    on_build(index, points.shape[0], time.perf_counter() - start)
     return index
 
 

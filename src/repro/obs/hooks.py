@@ -1,0 +1,322 @@
+"""Instrumentation hooks wired into the storage, index, and search layers.
+
+This module is the single place where the engine's code paths meet the
+metrics registry: it pre-registers the metric catalog (see
+``docs/OBSERVABILITY.md``) and exposes tiny ``on_*`` functions plus the
+:func:`observed_query` context manager that the index base class wraps
+around every query entry point.
+
+Design constraints:
+
+* **Cheap when on.**  Per-*operation* granularity only — one timing and
+  one counter-delta read per query/insert/build, never per node.  The
+  per-node story belongs to the tracer (:mod:`repro.obs.tracer`), which
+  is off by default.
+* **Near-free when off.**  Every hook starts with one module-global
+  boolean test; :func:`set_metrics_enabled` (or the
+  ``REPRO_OBS_METRICS=0`` environment variable) turns the whole layer
+  into straight-line no-ops.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from .registry import (
+    DEFAULT_PAGE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    REGISTRY,
+)
+
+__all__ = [
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "observed_query",
+    "on_incremental_query",
+    "on_flush",
+    "on_insert",
+    "on_delete",
+    "on_split",
+    "on_reinsert",
+    "on_supernode_growth",
+    "on_build",
+]
+
+_enabled = os.environ.get("REPRO_OBS_METRICS", "1") != "0"
+
+
+def metrics_enabled() -> bool:
+    """Whether the metric hooks are currently recording."""
+    return _enabled
+
+
+def set_metrics_enabled(flag: bool) -> None:
+    """Globally enable/disable the metric hooks (tracing is separate)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+# ----------------------------------------------------------------------
+# metric catalog
+# ----------------------------------------------------------------------
+
+QUERIES = REGISTRY.counter(
+    "repro_queries_total",
+    "Queries served, by index kind and operation",
+    ("index_kind", "op"),
+)
+QUERY_SECONDS = REGISTRY.histogram(
+    "repro_query_seconds",
+    "Query wall time in seconds",
+    ("index_kind", "op"),
+    buckets=DEFAULT_TIME_BUCKETS,
+)
+QUERY_PAGE_READS = REGISTRY.histogram(
+    "repro_query_page_reads",
+    "Physical pages read per query (the paper's disk-read metric)",
+    ("index_kind", "op"),
+    buckets=DEFAULT_PAGE_BUCKETS,
+)
+PAGE_READS = REGISTRY.counter(
+    "repro_page_reads_total",
+    "Physical page reads, split by tree level",
+    ("index_kind", "level"),
+)
+PAGE_WRITES = REGISTRY.counter(
+    "repro_page_writes_total",
+    "Physical page writes, split by tree level",
+    ("index_kind", "level"),
+)
+BUFFER_LOOKUPS = REGISTRY.counter(
+    "repro_buffer_lookups_total",
+    "Buffer pool lookups, by outcome",
+    ("index_kind", "outcome"),
+)
+DISTANCE_COMPS = REGISTRY.counter(
+    "repro_distance_computations_total",
+    "Point/region distance evaluations (machine-independent CPU proxy)",
+    ("index_kind", "op"),
+)
+INSERTS = REGISTRY.counter(
+    "repro_inserts_total", "Points inserted", ("index_kind",)
+)
+DELETES = REGISTRY.counter(
+    "repro_deletes_total", "Points deleted", ("index_kind",)
+)
+SPLITS = REGISTRY.counter(
+    "repro_node_splits_total",
+    "Node splits during insertion, by node kind",
+    ("index_kind", "node_kind"),
+)
+REINSERTS = REGISTRY.counter(
+    "repro_forced_reinserts_total",
+    "Forced-reinsertion overflow treatments, by node kind",
+    ("index_kind", "node_kind"),
+)
+SUPERNODE_GROWTHS = REGISTRY.counter(
+    "repro_supernode_growths_total",
+    "X-tree-style supernode growths instead of splits",
+    ("index_kind",),
+)
+BUILDS = REGISTRY.counter(
+    "repro_builds_total", "Complete index builds", ("index_kind",)
+)
+BUILD_SECONDS = REGISTRY.histogram(
+    "repro_build_seconds",
+    "Wall time of complete index builds",
+    ("index_kind",),
+    buckets=(0.01, 0.1, 0.5, 1, 5, 10, 30, 60, 300, 1800),
+)
+INDEX_SIZE = REGISTRY.gauge(
+    "repro_index_points", "Points currently stored", ("index_kind",)
+)
+INDEX_HEIGHT = REGISTRY.gauge(
+    "repro_index_height", "Tree height (levels, counting leaves)", ("index_kind",)
+)
+
+
+# ----------------------------------------------------------------------
+# hooks
+# ----------------------------------------------------------------------
+
+
+class _NullObservation:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL = _NullObservation()
+
+
+class _QueryObservation:
+    """Measures one query: wall time + IOStats deltas → registry."""
+
+    __slots__ = ("_index", "_op", "_t0", "_before")
+
+    def __init__(self, index, op: str) -> None:
+        self._index = index
+        self._op = op
+
+    def __enter__(self):
+        stats = self._index.stats
+        # Plain field reads — cheaper than a full IOStats.snapshot().
+        self._before = (
+            stats.page_reads,
+            stats.node_reads,
+            stats.leaf_reads,
+            stats.distance_computations,
+            stats.buffer_hits,
+            stats.buffer_misses,
+        )
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        if exc_type is not None:
+            return False
+        index, op = self._index, self._op
+        kind = index.NAME
+        stats = index.stats
+        b = self._before
+        QUERIES.labels(index_kind=kind, op=op).inc()
+        QUERY_SECONDS.labels(index_kind=kind, op=op).observe(elapsed)
+        QUERY_PAGE_READS.labels(index_kind=kind, op=op).observe(
+            stats.page_reads - b[0]
+        )
+        node_reads = stats.node_reads - b[1]
+        leaf_reads = stats.leaf_reads - b[2]
+        if node_reads:
+            PAGE_READS.labels(index_kind=kind, level="node").inc(node_reads)
+        if leaf_reads:
+            PAGE_READS.labels(index_kind=kind, level="leaf").inc(leaf_reads)
+        dists = stats.distance_computations - b[3]
+        if dists:
+            DISTANCE_COMPS.labels(index_kind=kind, op=op).inc(dists)
+        hits = stats.buffer_hits - b[4]
+        misses = stats.buffer_misses - b[5]
+        if hits:
+            BUFFER_LOOKUPS.labels(index_kind=kind, outcome="hit").inc(hits)
+        if misses:
+            BUFFER_LOOKUPS.labels(index_kind=kind, outcome="miss").inc(misses)
+        return False
+
+
+def observed_query(index, op: str):
+    """Context manager timing one query and publishing its cost.
+
+    ``op`` is one of ``knn``, ``knn_best_first``, ``range``, ``window``,
+    or ``incremental``.  Returns a shared no-op when metrics are
+    disabled.
+    """
+    if not _enabled:
+        return _NULL
+    return _QueryObservation(index, op)
+
+
+def on_incremental_query(index) -> None:
+    """Count an incremental (``iter_nearest``) query at creation time.
+
+    The generator is consumed lazily, so wall time and page deltas are
+    not attributable to a single call site; only the query counter is
+    incremented.
+    """
+    if not _enabled:
+        return
+    QUERIES.labels(index_kind=index.NAME, op="incremental").inc()
+
+
+def _sync_writes(index) -> None:
+    """Publish the index's physical-write deltas since the last sync.
+
+    Writes are flushed lazily by the write-back buffer, so they cannot
+    be attributed to a single operation; instead each mutation hook
+    drains whatever accumulated since the previous sync point.
+    """
+    stats = index.stats
+    prev_node, prev_leaf = getattr(index, "_obs_writes_seen", (0, 0))
+    node = stats.node_writes - prev_node
+    leaf = stats.leaf_writes - prev_leaf
+    if node > 0:
+        PAGE_WRITES.labels(index_kind=index.NAME, level="node").inc(node)
+    if leaf > 0:
+        PAGE_WRITES.labels(index_kind=index.NAME, level="leaf").inc(leaf)
+    index._obs_writes_seen = (stats.node_writes, stats.leaf_writes)
+
+
+def on_flush(index) -> None:
+    """Publish write counters after a flush (``save()``/``close()``).
+
+    The write-back buffer defers physical writes until eviction or
+    flush, so this is where most of ``repro_page_writes_total`` lands.
+    """
+    if not _enabled:
+        return
+    _sync_writes(index)
+
+
+def on_insert(index) -> None:
+    """Record one point insertion (called by the dynamic engine)."""
+    if not _enabled:
+        return
+    kind = index.NAME
+    INSERTS.labels(index_kind=kind).inc()
+    INDEX_SIZE.labels(index_kind=kind).set(index.size)
+    INDEX_HEIGHT.labels(index_kind=kind).set(index.height)
+    _sync_writes(index)
+
+
+def on_delete(index) -> None:
+    """Record one point deletion."""
+    if not _enabled:
+        return
+    kind = index.NAME
+    DELETES.labels(index_kind=kind).inc()
+    INDEX_SIZE.labels(index_kind=kind).set(index.size)
+    INDEX_HEIGHT.labels(index_kind=kind).set(index.height)
+    _sync_writes(index)
+
+
+def on_split(index, node) -> None:
+    """Record a node split (leaf or internal)."""
+    if not _enabled:
+        return
+    SPLITS.labels(
+        index_kind=index.NAME,
+        node_kind="leaf" if node.is_leaf else "internal",
+    ).inc()
+
+
+def on_reinsert(index, node) -> None:
+    """Record a forced-reinsertion overflow treatment."""
+    if not _enabled:
+        return
+    REINSERTS.labels(
+        index_kind=index.NAME,
+        node_kind="leaf" if node.is_leaf else "internal",
+    ).inc()
+
+
+def on_supernode_growth(index) -> None:
+    """Record an X-tree supernode growth chosen over a split."""
+    if not _enabled:
+        return
+    SUPERNODE_GROWTHS.labels(index_kind=index.NAME).inc()
+
+
+def on_build(index, points: int, seconds: float) -> None:
+    """Record a complete index build."""
+    if not _enabled:
+        return
+    kind = index.NAME
+    BUILDS.labels(index_kind=kind).inc()
+    BUILD_SECONDS.labels(index_kind=kind).observe(seconds)
+    INDEX_SIZE.labels(index_kind=kind).set(index.size)
+    INDEX_HEIGHT.labels(index_kind=kind).set(index.height)
+    _sync_writes(index)

@@ -1,0 +1,73 @@
+"""Prometheus text-exposition-format rendering for the metrics registry.
+
+Implements the subset of the format the registry needs — ``# HELP`` /
+``# TYPE`` headers, label escaping, counter/gauge samples, and the
+cumulative ``_bucket``/``_sum``/``_count`` triplet for histograms — as
+specified by the Prometheus exposition format (text version 0.0.4).
+The output of :func:`render` is scrape-parseable by a stock Prometheus
+server or ``promtool check metrics``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render", "format_labels", "escape_label_value"]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def format_labels(labels: dict) -> str:
+    """Render a label set as ``{a="x",b="y"}`` (empty string when empty)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _format_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def render(registry) -> str:
+    """Render every family of ``registry`` in text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in family.samples():
+            labels = dict(zip(family.label_names, key))
+            if family.kind == "histogram":
+                for bound, cum in child.cumulative():
+                    le = "+Inf" if bound == float("inf") else format(bound, "g")
+                    bucket_labels = format_labels({**labels, "le": le})
+                    lines.append(f"{family.name}_bucket{bucket_labels} {cum}")
+                lines.append(
+                    f"{family.name}_sum{format_labels(labels)} "
+                    f"{_format_number(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{format_labels(labels)} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{format_labels(labels)} "
+                    f"{_format_number(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

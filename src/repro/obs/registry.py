@@ -1,0 +1,332 @@
+"""Metrics registry: named counters, gauges, and histograms with labels.
+
+A deliberately small, dependency-free re-implementation of the
+Prometheus client data model.  A :class:`MetricsRegistry` holds metric
+*families*; a family has a name, a help string, a metric kind, and a
+fixed tuple of label names; ``family.labels(...)`` resolves (creating on
+first use) one *child* instrument per distinct label-value combination.
+
+Families with no label names act as their own single child, so the
+common case stays one-liner cheap::
+
+    REGISTRY.counter("repro_builds_total", "Index builds").inc()
+
+    QUERIES = REGISTRY.counter(
+        "repro_queries_total", "Queries served", ("index_kind", "op"))
+    QUERIES.labels(index_kind="srtree", op="knn").inc()
+
+Exports: :meth:`MetricsRegistry.to_dict` (nested JSON-friendly),
+:meth:`MetricsRegistry.flatten` (flat sample dict, used by the bench
+harness for per-run deltas), and
+:func:`repro.obs.prometheus.render` (text exposition format).
+
+The registry is process-local and not thread-safe by design: the
+storage engine itself is single-threaded per index, and the counters
+are plain integer adds (which are atomic enough under the GIL for the
+monitoring use case anyway).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_PAGE_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+DEFAULT_TIME_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+"""Latency histogram buckets in seconds (sub-ms to tens of seconds)."""
+
+DEFAULT_PAGE_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000)
+"""Page-count histogram buckets (per-operation disk reads)."""
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value",)
+    KIND = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters can only increase, got {amount}")
+        self.value += amount
+
+    def sample(self):
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+    KIND = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def sample(self):
+        return self.value
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (Prometheus semantics).
+
+    ``bounds`` are the inclusive upper bounds of the buckets, in
+    strictly increasing order; an implicit ``+Inf`` bucket catches the
+    rest.  ``counts[i]`` is *non*-cumulative (per-bucket) internally and
+    cumulated at export time, matching the exposition format's ``le``
+    convention.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+    KIND = "histogram"
+
+    def __init__(self, bounds) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be increasing: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.bounds, self.counts):
+            running += c
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def sample(self):
+        return {
+            "buckets": [[b, c] for b, c in self.cumulative()],
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+_KINDS = {cls.KIND: cls for cls in (Counter, Gauge, Histogram)}
+
+
+class MetricFamily:
+    """A named group of instruments sharing label names."""
+
+    def __init__(self, name: str, help: str, kind: str, label_names: tuple[str, ...],
+                 **child_kwargs) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self._child_kwargs = child_kwargs
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.label_names:
+            self._default = self._make_child()
+            self._children[()] = self._default
+        else:
+            self._default = None
+
+    def _make_child(self):
+        return _KINDS[self.kind](**self._child_kwargs)
+
+    def labels(self, **label_values):
+        """The child instrument for one label-value combination."""
+        if set(label_values) != set(self.label_names):
+            raise ValueError(
+                f"{self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        key = tuple(str(label_values[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    # Label-less convenience pass-throughs -----------------------------
+
+    def _require_default(self):
+        if self._default is None:
+            raise ValueError(
+                f"{self.name} is labelled {self.label_names}; call .labels() first"
+            )
+        return self._default
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._require_default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._require_default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._require_default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._require_default().observe(value)
+
+    @property
+    def value(self):
+        """The label-less child's current value (counters and gauges)."""
+        return self._require_default().value
+
+    def samples(self):
+        """``(label_values_tuple, child)`` pairs in insertion order."""
+        return list(self._children.items())
+
+
+class MetricsRegistry:
+    """A collection of metric families keyed by name."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # registration -----------------------------------------------------
+
+    def _register(self, name: str, help: str, kind: str,
+                  label_names, **child_kwargs) -> MetricFamily:
+        label_names = tuple(label_names)
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != label_names:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.label_names}"
+                )
+            return existing
+        family = MetricFamily(name, help, kind, label_names, **child_kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._register(name, help, "counter", labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, help, "gauge", labelnames)
+
+    def histogram(self, name: str, help: str = "", labelnames=(),
+                  buckets=DEFAULT_TIME_BUCKETS) -> MetricFamily:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        return self._register(name, help, "histogram", labelnames,
+                              bounds=tuple(buckets))
+
+    # introspection ----------------------------------------------------
+
+    def families(self) -> list[MetricFamily]:
+        """Every registered family, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        """The family registered under ``name``, or ``None``."""
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # export -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Nested JSON-friendly dump of every family and child."""
+        out: dict = {}
+        for family in self.families():
+            series = []
+            for key, child in family.samples():
+                series.append({
+                    "labels": dict(zip(family.label_names, key)),
+                    "value": child.sample(),
+                })
+            out[family.name] = {
+                "help": family.help,
+                "kind": family.kind,
+                "series": series,
+            }
+        return out
+
+    def flatten(self) -> dict[str, float]:
+        """Flat ``{sample_name: value}`` dump.
+
+        Counter/gauge children appear under ``name{a="x",b="y"}``;
+        histograms contribute ``_sum``, ``_count``, and per-``le``
+        ``_bucket`` samples, mirroring the exposition format.  Used by
+        the bench harness to compute per-run metric deltas.
+        """
+        from .prometheus import format_labels
+
+        flat: dict[str, float] = {}
+        for family in self.families():
+            for key, child in family.samples():
+                labels = dict(zip(family.label_names, key))
+                suffix = format_labels(labels)
+                if family.kind == "histogram":
+                    for bound, cum in child.cumulative():
+                        le = "+Inf" if bound == float("inf") else format(bound, "g")
+                        flat[f"{family.name}_bucket{format_labels({**labels, 'le': le})}"] = cum
+                    flat[f"{family.name}_sum{suffix}"] = child.sum
+                    flat[f"{family.name}_count{suffix}"] = child.count
+                else:
+                    flat[f"{family.name}{suffix}"] = child.value
+        return flat
+
+    def reset(self) -> None:
+        """Drop every registered family (for tests and fresh runs)."""
+        self._families.clear()
+
+
+REGISTRY = MetricsRegistry()
+"""The process-wide default registry used by the built-in hooks."""
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return REGISTRY

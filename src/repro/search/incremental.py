@@ -20,6 +20,7 @@ from itertools import count
 import numpy as np
 
 from ..indexes.base import Neighbor
+from ..obs.tracer import trace
 
 __all__ = ["iter_nearest"]
 
@@ -42,6 +43,7 @@ def iter_nearest(index, point: np.ndarray, max_distance: float = float("inf"),
     """
     stats = index.stats
     tiebreak = count()
+    span = trace.active
     # Items: (distance, kind, tiebreak, payload); kind orders points
     # before nodes at equal distance so exact hits surface immediately.
     queue: list[tuple] = [(0.0, _NODE, next(tiebreak), index.root_id)]
@@ -54,6 +56,9 @@ def iter_nearest(index, point: np.ndarray, max_distance: float = float("inf"),
             yield Neighbor(dist, candidate_point, value)
             continue
         node = index.read_node(payload)
+        if span is not None:
+            span.visit(payload, node.level, dist, max_distance)
+            span.queue(len(queue), popped=1)
         if node.is_leaf:
             if node.count == 0:
                 continue
@@ -68,6 +73,8 @@ def iter_nearest(index, point: np.ndarray, max_distance: float = float("inf"),
                         (float(dists[i]), _POINT, next(tiebreak),
                          (pts[i].copy(), node.values[i])),
                     )
+            if span is not None:
+                span.queue(len(queue))
             continue
         child_dists = index.child_mindists(node, point)
         stats.distance_computations += node.count
@@ -78,3 +85,8 @@ def iter_nearest(index, point: np.ndarray, max_distance: float = float("inf"),
                     (float(child_dists[i]), _NODE, next(tiebreak),
                      int(node.child_ids[i])),
                 )
+                if span is not None:
+                    span.queue(len(queue), pushed=1)
+            elif span is not None:
+                span.prune(int(node.child_ids[i]), node.level - 1,
+                           float(child_dists[i]), max_distance)

@@ -28,6 +28,7 @@ from itertools import count
 import numpy as np
 
 from ..indexes.base import Neighbor
+from ..obs.tracer import trace
 
 __all__ = ["knn_search", "knn_search_best_first", "KnnCandidates"]
 
@@ -83,7 +84,10 @@ def knn_search(index, point: np.ndarray, k: int) -> list[Neighbor]:
     """
     candidates = KnnCandidates(k)
     stats = index.stats
-    _visit(index, index.root_id, point, candidates, stats)
+    span = trace.active
+    if span is not None:
+        span.visit(index.root_id, index.height - 1, 0.0)
+    _visit(index, index.root_id, point, candidates, stats, span)
     return candidates.results()
 
 
@@ -104,13 +108,29 @@ def knn_search_best_first(index, point: np.ndarray, k: int) -> list[Neighbor]:
     candidates = KnnCandidates(k)
     stats = index.stats
     tiebreak = count()
+    span = trace.active
+    # Page-id -> level side table, kept only while tracing, so queue
+    # leftovers can be attributed to their tree level at prune time.
+    levels: dict[int, int] | None = (
+        {index.root_id: index.height - 1} if span is not None else None
+    )
     # Queue items: (mindist, tiebreak, page_id).
     queue: list[tuple[float, int, int]] = [(0.0, next(tiebreak), index.root_id)]
     while queue:
         dist, _, page_id = heapq.heappop(queue)
         if dist > candidates.bound:
-            break  # every remaining subtree is farther than the k-th best
+            # Every remaining subtree is farther than the k-th best.
+            if span is not None:
+                span.prune(page_id, levels.get(page_id, -1), dist,
+                           candidates.bound)
+                for leftover_dist, _, leftover_id in queue:
+                    span.prune(leftover_id, levels.get(leftover_id, -1),
+                               leftover_dist, candidates.bound)
+            break
         node = index.read_node(page_id)
+        if span is not None:
+            span.visit(page_id, node.level, dist, candidates.bound)
+            span.queue(len(queue), popped=1)
         if node.is_leaf:
             if node.count == 0:
                 continue
@@ -125,15 +145,22 @@ def knn_search_best_first(index, point: np.ndarray, k: int) -> list[Neighbor]:
         bound = candidates.bound
         for i in range(node.count):
             if child_dists[i] <= bound:
+                child_id = int(node.child_ids[i])
                 heapq.heappush(
                     queue,
-                    (float(child_dists[i]), next(tiebreak), int(node.child_ids[i])),
+                    (float(child_dists[i]), next(tiebreak), child_id),
                 )
+                if span is not None:
+                    levels[child_id] = node.level - 1
+                    span.queue(len(queue), pushed=1)
+            elif span is not None:
+                span.prune(int(node.child_ids[i]), node.level - 1,
+                           float(child_dists[i]), bound)
     return candidates.results()
 
 
 def _visit(index, page_id: int, point: np.ndarray, candidates: KnnCandidates,
-           stats) -> None:
+           stats, span=None) -> None:
     node = index.read_node(page_id)
     if node.is_leaf:
         if node.count == 0:
@@ -148,9 +175,17 @@ def _visit(index, page_id: int, point: np.ndarray, candidates: KnnCandidates,
     dists = index.child_mindists(node, point)
     stats.distance_computations += node.count
     order = np.argsort(dists, kind="stable")
-    for i in order:
+    for pos, i in enumerate(order):
         # Children are visited in MINDIST order, so once one exceeds the
         # current bound every later one does too.
         if dists[i] > candidates.bound:
+            if span is not None:
+                bound = candidates.bound
+                for j in order[pos:]:
+                    span.prune(int(node.child_ids[j]), node.level - 1,
+                               float(dists[j]), bound)
             break
-        _visit(index, int(node.child_ids[i]), point, candidates, stats)
+        if span is not None:
+            span.visit(int(node.child_ids[i]), node.level - 1, float(dists[i]),
+                       candidates.bound)
+        _visit(index, int(node.child_ids[i]), point, candidates, stats, span)

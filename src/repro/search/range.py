@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..indexes.base import Neighbor
+from ..obs.tracer import trace
 
 __all__ = ["range_search"]
 
@@ -16,13 +17,16 @@ __all__ = ["range_search"]
 def range_search(index, point: np.ndarray, radius: float) -> list[Neighbor]:
     """All stored points with Euclidean distance <= ``radius``, closest first."""
     results: list[Neighbor] = []
-    _visit(index, index.root_id, point, radius, results)
+    span = trace.active
+    if span is not None:
+        span.visit(index.root_id, index.height - 1, 0.0, radius)
+    _visit(index, index.root_id, point, radius, results, span)
     results.sort(key=lambda n: n.distance)
     return results
 
 
 def _visit(index, page_id: int, point: np.ndarray, radius: float,
-           results: list[Neighbor]) -> None:
+           results: list[Neighbor], span=None) -> None:
     node = index.read_node(page_id)
     stats = index.stats
     if node.is_leaf:
@@ -38,5 +42,15 @@ def _visit(index, page_id: int, point: np.ndarray, radius: float,
 
     dists = index.child_mindists(node, point)
     stats.distance_computations += node.count
-    for i in np.nonzero(dists <= radius)[0]:
-        _visit(index, int(node.child_ids[i]), point, radius, results)
+    if span is None:
+        for i in np.nonzero(dists <= radius)[0]:
+            _visit(index, int(node.child_ids[i]), point, radius, results)
+        return
+    for i in range(node.count):
+        mindist = float(dists[i])
+        child_id = int(node.child_ids[i])
+        if mindist <= radius:
+            span.visit(child_id, node.level - 1, mindist, radius)
+            _visit(index, child_id, point, radius, results, span)
+        else:
+            span.prune(child_id, node.level - 1, mindist, radius)

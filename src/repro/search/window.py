@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..indexes.base import Neighbor
+from ..obs.tracer import trace
 
 __all__ = ["window_search", "child_window_mask"]
 
@@ -50,6 +51,9 @@ def window_search(index, low: np.ndarray, high: np.ndarray) -> list[Neighbor]:
     results: list[Neighbor] = []
     stack = [index.root_id]
     stats = index.stats
+    span = trace.active
+    if span is not None:
+        span.visit(index.root_id, index.height - 1, 0.0)
     while stack:
         node = index.read_node(stack.pop())
         if node.is_leaf:
@@ -63,6 +67,15 @@ def window_search(index, low: np.ndarray, high: np.ndarray) -> list[Neighbor]:
             continue
         mask = child_window_mask(node, low, high)
         stats.distance_computations += node.count
+        if span is not None:
+            # A window query has no MINDIST; record 0.0 for survivors
+            # and +inf for pruned children (the region misses the box).
+            for i in range(node.count):
+                child_id = int(node.child_ids[i])
+                if mask[i]:
+                    span.visit(child_id, node.level - 1, 0.0)
+                else:
+                    span.prune(child_id, node.level - 1, float("inf"), 0.0)
         for i in np.nonzero(mask)[0]:
             stack.append(int(node.child_ids[i]))
     return results

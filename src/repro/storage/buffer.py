@@ -23,6 +23,7 @@ from collections.abc import Callable, Iterator
 
 from ..exceptions import BufferPinError
 from .nodes import InternalNode, LeafNode
+from .stats import IOStats
 
 __all__ = ["BufferPool"]
 
@@ -50,16 +51,21 @@ class BufferPool:
         Callback ``(node) -> None`` invoked when a dirty frame leaves the
         pool (eviction or flush); the node store uses it to serialize the
         node into the page file and count the physical write.
+    stats:
+        The :class:`~repro.storage.stats.IOStats` bundle that receives
+        the ``buffer_hits``/``buffer_misses`` counts (the node store
+        shares its own bundle so snapshots/deltas cover cache behavior).
+        A private bundle is created when omitted.
     """
 
-    def __init__(self, capacity: int, write_back: Callable[[Node], None]) -> None:
+    def __init__(self, capacity: int, write_back: Callable[[Node], None],
+                 stats: IOStats | None = None) -> None:
         if capacity < 8:
             raise ValueError(f"buffer capacity must be at least 8 frames, got {capacity}")
         self.capacity = capacity
         self._write_back = write_back
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self.stats = stats if stats is not None else IOStats()
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -67,13 +73,28 @@ class BufferPool:
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._frames
 
+    @property
+    def hits(self) -> int:
+        """Lookups served from the pool (alias of ``stats.buffer_hits``)."""
+        return self.stats.buffer_hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that fell through to disk (alias of ``stats.buffer_misses``)."""
+        return self.stats.buffer_misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hit ratio in [0, 1] over the life of the shared stats bundle."""
+        return self.stats.hit_ratio
+
     def get(self, page_id: int) -> Node | None:
         """Return the cached node and refresh its recency, or ``None``."""
         frame = self._frames.get(page_id)
         if frame is None:
-            self.misses += 1
+            self.stats.buffer_misses += 1
             return None
-        self.hits += 1
+        self.stats.buffer_hits += 1
         self._frames.move_to_end(page_id)
         return frame.node
 

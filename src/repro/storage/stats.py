@@ -21,9 +21,12 @@ class IOStats:
     ``page_reads``/``page_writes`` count *physical* page transfers between
     the buffer pool and the page file (i.e. what the paper calls disk
     reads/writes).  ``node_reads``/``leaf_reads`` split the physical reads
-    by tree level (Figure 14).  ``distance_computations`` counts point
-    distance evaluations performed by search, a machine-independent proxy
-    for the paper's CPU-time curves.
+    by tree level (Figure 14).  ``buffer_hits``/``buffer_misses`` count
+    buffer-pool lookups by outcome (a miss is what triggers a physical
+    read), so snapshots and deltas cover cache behavior too.
+    ``distance_computations`` counts point distance evaluations performed
+    by search, a machine-independent proxy for the paper's CPU-time
+    curves.
     """
 
     page_reads: int = 0
@@ -32,12 +35,20 @@ class IOStats:
     leaf_reads: int = 0
     node_writes: int = 0
     leaf_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
     distance_computations: int = 0
 
     @property
     def disk_accesses(self) -> int:
         """Total physical page transfers (reads + writes), as in Fig. 9-(b)."""
         return self.page_reads + self.page_writes
+
+    @property
+    def hit_ratio(self) -> float:
+        """Buffer-pool hit ratio in [0, 1] (0.0 before any lookup)."""
+        lookups = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / lookups if lookups else 0.0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -70,5 +81,7 @@ class IOStats:
     def __str__(self) -> str:
         return (
             f"IOStats(reads={self.page_reads} [{self.node_reads}n/{self.leaf_reads}l], "
-            f"writes={self.page_writes}, dist={self.distance_computations})"
+            f"writes={self.page_writes} [{self.node_writes}n/{self.leaf_writes}l], "
+            f"buffer={self.buffer_hits}h/{self.buffer_misses}m, "
+            f"dist={self.distance_computations})"
         )

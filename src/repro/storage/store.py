@@ -12,6 +12,7 @@ from __future__ import annotations
 import pickle
 
 from ..exceptions import StorageError
+from ..obs.tracer import trace
 from .buffer import BufferPool
 from .constants import META_PAGE_ID
 from .layout import NodeLayout
@@ -49,7 +50,7 @@ class NodeStore:
             )
         self.codec = NodeCodec(layout)
         self.stats = stats if stats is not None else IOStats()
-        self.buffer = BufferPool(buffer_capacity, self._write_back)
+        self.buffer = BufferPool(buffer_capacity, self._write_back, stats=self.stats)
 
     # ------------------------------------------------------------------
     # node construction
@@ -90,7 +91,9 @@ class NodeStore:
         """Fetch a node, counting a physical read per page on a miss.
 
         A supernode spanning ``e`` pages costs ``e`` physical reads —
-        the X-tree cost model.
+        the X-tree cost model.  When a trace span is active, every fetch
+        is also recorded as a page event (hit or physical read) so
+        EXPLAIN can attribute the query's I/O.
         """
         node = self.buffer.get(page_id)
         if node is None:
@@ -105,6 +108,13 @@ class NodeStore:
             else:
                 self.stats.node_reads += extent
             self.buffer.put(node, dirty=False)
+            span = trace.active
+            if span is not None:
+                span.page(page_id, node.level, extent, hit=False)
+        else:
+            span = trace.active
+            if span is not None:
+                span.page(page_id, node.level, node.extent, hit=True)
         if pin:
             self.buffer.pin(page_id)
         return node

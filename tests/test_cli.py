@@ -105,3 +105,67 @@ class TestOpenIndex:
         assert reopened.layout.page_size == 16384
         assert reopened.size == 50
         reopened.store.close()
+
+
+class TestQueryExplain:
+    def test_explain_block_matches_page_reads(self, tmp_path, data_file,
+                                              capsys):
+        import re
+
+        index_file = tmp_path / "index.srtree"
+        run("build", "--data", data_file, "--out", index_file)
+        capsys.readouterr()
+        assert run("query", "--index", index_file, "--row", 3,
+                   "--data", data_file, "-k", 5, "--explain") == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN knn{k=5}" in out
+        assert "pruning efficiency" in out
+        # the EXPLAIN physical-page total equals the IOStats read delta
+        # printed on the summary line — the acceptance invariant.
+        summary = re.search(r"-- 5 neighbors, (\d+) page reads", out)
+        explained = re.search(r"pages read (\d+) physical", out)
+        assert summary and explained
+        assert summary.group(1) == explained.group(1)
+
+    def test_explain_leaves_tracer_disabled(self, tmp_path, data_file):
+        from repro.obs import trace
+
+        index_file = tmp_path / "index.srtree"
+        run("build", "--data", data_file, "--out", index_file)
+        run("query", "--index", index_file, "--row", 0,
+            "--data", data_file, "--explain")
+        assert not trace.enabled
+        assert trace.active is None
+
+
+class TestStats:
+    def test_prom_output_is_exposition_text(self, tmp_path, data_file,
+                                            capsys):
+        index_file = tmp_path / "index.srtree"
+        run("build", "--data", data_file, "--out", index_file)
+        capsys.readouterr()
+        assert run("stats", "--index", index_file, "--queries", 3,
+                   "-k", 3) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        assert 'repro_queries_total{index_kind="srtree",op="knn"}' in out
+        assert "# TYPE repro_query_seconds histogram" in out
+        assert 'le="+Inf"' in out
+
+    def test_json_format_parses(self, tmp_path, data_file, capsys):
+        import json as _json
+
+        index_file = tmp_path / "index.srtree"
+        run("build", "--data", data_file, "--out", index_file)
+        capsys.readouterr()
+        assert run("stats", "--index", index_file, "--queries", 2,
+                   "--format", "json") == 0
+        dump = _json.loads(capsys.readouterr().out)
+        assert dump["repro_queries_total"]["kind"] == "counter"
+        assert dump["repro_page_reads_total"]["kind"] == "counter"
+
+    def test_text_format_lists_flat_samples(self, capsys):
+        # without --index the command just dumps the current registry
+        assert run("stats", "--format", "text") == 0
+        out = capsys.readouterr().out
+        assert any(line.startswith("repro_") for line in out.splitlines())

@@ -1,0 +1,129 @@
+"""Tests for the metric hooks wired into the index/storage layers.
+
+These exercise the *global* ``REGISTRY`` (the hooks hold references to
+its families at import time), so every assertion is a before/after
+delta of ``REGISTRY.flatten()`` rather than an absolute value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import REGISTRY, build_index
+from repro.obs import hooks
+
+
+def delta(before: dict, after: dict) -> dict:
+    return {
+        key: value - before.get(key, 0.0)
+        for key, value in after.items()
+        if value != before.get(key, 0.0)
+    }
+
+
+@pytest.fixture
+def metrics_on():
+    hooks.set_metrics_enabled(True)
+    yield
+    hooks.set_metrics_enabled(True)
+
+
+class TestQueryMetrics:
+    def test_knn_publishes_counters_and_histograms(self, metrics_on,
+                                                   small_cloud):
+        tree = build_index("srtree", small_cloud)
+        tree.store.drop_cache()  # make the query physically cold
+        before = REGISTRY.flatten()
+        tree.nearest(small_cloud[0], k=5)
+        d = delta(before, REGISTRY.flatten())
+        assert d['repro_queries_total{index_kind="srtree",op="knn"}'] == 1
+        assert d['repro_query_seconds_count{index_kind="srtree",op="knn"}'] == 1
+        assert d['repro_query_page_reads_count{index_kind="srtree",op="knn"}'] == 1
+        assert d['repro_distance_computations_total{index_kind="srtree",op="knn"}'] > 0
+        # cold query: physical reads split by level
+        reads = sum(v for k, v in d.items()
+                    if k.startswith("repro_page_reads_total"))
+        assert reads > 0
+
+    def test_each_op_gets_its_own_series(self, metrics_on, tiny_cloud):
+        tree = build_index("sstree", tiny_cloud)
+        before = REGISTRY.flatten()
+        tree.nearest(tiny_cloud[0], k=2)
+        tree.nearest(tiny_cloud[0], k=2, algorithm="best-first")
+        tree.within(tiny_cloud[0], radius=0.3)
+        tree.window(tiny_cloud[0], tiny_cloud[0])
+        list(tree.iter_nearest(tiny_cloud[0], max_distance=0.2))
+        d = delta(before, REGISTRY.flatten())
+        for op in ("knn", "knn_best_first", "range", "window", "incremental"):
+            key = f'repro_queries_total{{index_kind="sstree",op="{op}"}}'
+            assert d[key] == 1, op
+
+    def test_buffer_lookup_outcomes(self, metrics_on, small_cloud):
+        tree = build_index("srtree", small_cloud)
+        query = small_cloud[9]
+        tree.nearest(query, k=3)  # warm the pool
+        before = REGISTRY.flatten()
+        tree.nearest(query, k=3)  # rerun: pure buffer hits
+        d = delta(before, REGISTRY.flatten())
+        assert d['repro_buffer_lookups_total{index_kind="srtree",outcome="hit"}'] > 0
+        assert 'repro_buffer_lookups_total{index_kind="srtree",outcome="miss"}' not in d
+
+
+class TestMutationMetrics:
+    def test_build_and_insert_and_delete(self, metrics_on, tiny_cloud, rng):
+        before = REGISTRY.flatten()
+        tree = build_index("rstar", tiny_cloud)
+        d = delta(before, REGISTRY.flatten())
+        assert d['repro_builds_total{index_kind="rstar"}'] == 1
+        assert d['repro_build_seconds_count{index_kind="rstar"}'] == 1
+        assert d['repro_inserts_total{index_kind="rstar"}'] == len(tiny_cloud)
+        size_key = 'repro_index_points{index_kind="rstar"}'
+        assert REGISTRY.flatten()[size_key] == tree.size
+
+        point = rng.random(tiny_cloud.shape[1])
+        tree.insert(point)
+        tree.delete(point)
+        d = delta(before, REGISTRY.flatten())
+        assert d['repro_deletes_total{index_kind="rstar"}'] == 1
+        assert REGISTRY.flatten()[size_key] == len(tiny_cloud)
+
+    def test_splits_counted_during_build(self, metrics_on, small_cloud):
+        before = REGISTRY.flatten()
+        build_index("srtree", small_cloud)
+        d = delta(before, REGISTRY.flatten())
+        assert d['repro_node_splits_total{index_kind="srtree",node_kind="leaf"}'] > 0
+
+    def test_writes_published_on_save(self, metrics_on, small_cloud):
+        tree = build_index("srtree", small_cloud)
+        before = REGISTRY.flatten()
+        tree.save()
+        d = delta(before, REGISTRY.flatten())
+        writes = {k: v for k, v in d.items()
+                  if k.startswith("repro_page_writes_total")}
+        assert sum(writes.values()) > 0
+        assert 'repro_page_writes_total{index_kind="srtree",level="leaf"}' in writes
+        # a second save with no mutations publishes nothing new
+        before = REGISTRY.flatten()
+        tree.save()
+        d = delta(before, REGISTRY.flatten())
+        assert not any(k.startswith("repro_page_writes_total") for k in d)
+
+
+class TestDisabledHooks:
+    def test_disabled_hooks_record_nothing(self, tiny_cloud):
+        hooks.set_metrics_enabled(False)
+        try:
+            before = REGISTRY.flatten()
+            tree = build_index("srtree", tiny_cloud)
+            tree.nearest(tiny_cloud[0], k=2)
+            tree.save()
+            assert delta(before, REGISTRY.flatten()) == {}
+        finally:
+            hooks.set_metrics_enabled(True)
+
+    def test_enable_disable_roundtrip(self):
+        assert hooks.metrics_enabled()
+        hooks.set_metrics_enabled(False)
+        assert not hooks.metrics_enabled()
+        hooks.set_metrics_enabled(True)
+        assert hooks.metrics_enabled()

@@ -1,0 +1,174 @@
+"""Tests for the metrics registry and the Prometheus exposition format."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.prometheus import escape_label_value, format_labels, render
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        c = registry.counter("jobs_total", "Jobs")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self, registry):
+        c = registry.counter("jobs_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_children_are_independent(self, registry):
+        c = registry.counter("ops_total", "Ops", ("kind", "op"))
+        c.labels(kind="srtree", op="knn").inc()
+        c.labels(kind="srtree", op="knn").inc()
+        c.labels(kind="sstree", op="knn").inc()
+        assert c.labels(kind="srtree", op="knn").value == 2
+        assert c.labels(kind="sstree", op="knn").value == 1
+
+    def test_wrong_label_names_rejected(self, registry):
+        c = registry.counter("ops_total", "Ops", ("kind",))
+        with pytest.raises(ValueError):
+            c.labels(op="knn")
+        with pytest.raises(ValueError):
+            c.labels(kind="a", extra="b")
+
+    def test_labelled_family_has_no_bare_inc(self, registry):
+        c = registry.counter("ops_total", "Ops", ("kind",))
+        with pytest.raises(ValueError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("temperature", "Temp")
+        g.set(10)
+        g.inc(5)
+        g.dec(2.5)
+        assert g.value == 12.5
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self, registry):
+        h = registry.histogram("latency", "Latency", buckets=(1, 5, 10))
+        for v in (0.5, 0.7, 3, 7, 100):
+            h.observe(v)
+        child = h.labels() if h.label_names else h._require_default()
+        cum = dict(child.cumulative())
+        assert cum[1.0] == 2
+        assert cum[5.0] == 3
+        assert cum[10.0] == 4
+        assert cum[math.inf] == 5
+        assert child.count == 5
+        assert child.sum == pytest.approx(111.2)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((5, 1))
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_family(self, registry):
+        a = registry.counter("x_total", "X", ("k",))
+        b = registry.counter("x_total", "X", ("k",))
+        assert a is b
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_raises(self, registry):
+        registry.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labelnames=("bad-label",))
+
+    def test_to_dict_round_trips_through_json(self, registry):
+        registry.counter("a_total", "A").inc(3)
+        registry.histogram("h", "H", buckets=(1, 2)).observe(1.5)
+        dump = json.loads(json.dumps(registry.to_dict()))
+        assert dump["a_total"]["series"][0]["value"] == 3
+        assert dump["h"]["kind"] == "histogram"
+
+    def test_flatten_matches_exposition_samples(self, registry):
+        c = registry.counter("reqs_total", "R", ("op",))
+        c.labels(op="knn").inc(4)
+        registry.histogram("lat", "L", buckets=(1,)).observe(0.5)
+        flat = registry.flatten()
+        assert flat['reqs_total{op="knn"}'] == 4
+        assert flat['lat_bucket{le="1"}'] == 1
+        assert flat['lat_bucket{le="+Inf"}'] == 1
+        assert flat["lat_count"] == 1
+
+
+class TestPrometheusRendering:
+    def test_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        assert format_labels({"k": 'v"1'}) == '{k="v\\"1"}'
+
+    def test_golden_output(self, registry):
+        queries = registry.counter(
+            "repro_queries_total", "Queries served", ("index_kind", "op")
+        )
+        queries.labels(index_kind="srtree", op="knn").inc(2)
+        registry.gauge("repro_index_points", "Stored points").set(100)
+        lat = registry.histogram(
+            "repro_query_seconds", "Query latency", buckets=(0.01, 0.1)
+        )
+        lat.observe(0.05)
+        lat.observe(5.0)
+        expected = (
+            '# HELP repro_index_points Stored points\n'
+            '# TYPE repro_index_points gauge\n'
+            'repro_index_points 100\n'
+            '# HELP repro_queries_total Queries served\n'
+            '# TYPE repro_queries_total counter\n'
+            'repro_queries_total{index_kind="srtree",op="knn"} 2\n'
+            '# HELP repro_query_seconds Query latency\n'
+            '# TYPE repro_query_seconds histogram\n'
+            'repro_query_seconds_bucket{le="0.01"} 0\n'
+            'repro_query_seconds_bucket{le="0.1"} 1\n'
+            'repro_query_seconds_bucket{le="+Inf"} 2\n'
+            'repro_query_seconds_sum 5.05\n'
+            'repro_query_seconds_count 2\n'
+        )
+        assert render(registry) == expected
+
+    def test_output_is_scrape_parseable(self, registry):
+        """Every non-comment line must be `name{labels}? value`."""
+        c = registry.counter("a_total", "with \"quotes\"\nand newline", ("x",))
+        c.labels(x='we"ird\nvalue').inc()
+        registry.histogram("h", "H", buckets=(1, 2)).observe(3)
+        text = render(registry)
+        assert text.endswith("\n")
+        import re
+
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'            # metric name
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})?'
+            r' (\+Inf|-Inf|NaN|[0-9eE.+-]+)$'
+        )
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                assert "\n" not in line
+            else:
+                assert sample.match(line), line

@@ -19,7 +19,6 @@ from repro.storage.layout import NodeLayout
 from repro.storage.nodes import LeafNode
 from repro.storage.serializer import NodeCodec
 
-from tests.helpers import brute_force_knn
 
 finite = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
                    allow_infinity=False)

@@ -1,7 +1,6 @@
 """Unit tests for the R*-tree split and ChooseSubtree heuristics."""
 
 import numpy as np
-import pytest
 
 from repro.indexes.rstar import RStarTree, rstar_split
 

