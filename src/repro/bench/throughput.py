@@ -1,0 +1,211 @@
+"""Throughput benchmark: single-query loop vs batched vs parallel serving.
+
+The paper's benchmarks (:mod:`repro.bench.runner`) measure *per-query
+disk reads* with a cold buffer pool — the right metric for comparing
+index structures.  This module measures the orthogonal *serving* axis:
+how many queries per second one saved index sustains under the three
+execution modes of :mod:`repro.exec`:
+
+* ``single``  — a plain ``index.nearest`` loop (the baseline);
+* ``batched`` — :func:`repro.exec.batch_knn`, one traversal per block;
+* ``parallel`` — :class:`repro.exec.ServingPool`, batched blocks across
+  worker threads, each with a private buffer pool.
+
+Every mode starts **cold** (fresh index handle, empty caches) and runs
+the same query set against the same page file, so the qps ratios
+isolate the execution engine.  Results serialize to the
+``BENCH_throughput.json`` schema documented in ``docs/PERFORMANCE.md``::
+
+    {"dataset": {...}, "modes": {"single": {"qps": ..., "p50_ms": ...,
+     "p95_ms": ..., "page_reads_per_query": ..., ...}, ...},
+     "speedups": {"batched_vs_single": ..., "parallel_vs_single": ...}}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = ["ThroughputResult", "run_throughput", "sample_queries", "write_json"]
+
+_MODES = ("single", "batched", "parallel")
+
+
+@dataclass
+class ThroughputResult:
+    """Measured cost of one execution mode over one query set."""
+
+    mode: str
+    queries: int
+    k: int
+    wall_seconds: float
+    qps: float
+    p50_ms: float                 #: median per-unit latency (query or block)
+    p95_ms: float
+    page_reads_per_query: float   #: physical pages read / query (cold start)
+    buffer_hit_ratio: float
+    page_cache_hit_ratio: float
+    workers: int = 1
+
+
+def sample_queries(index, count: int, seed: int = 0) -> np.ndarray:
+    """Reservoir-sample ``count`` stored points to use as query points."""
+    rng = np.random.default_rng(seed)
+    reservoir: list[np.ndarray] = []
+    for i, (point, _value) in enumerate(index.iter_points()):
+        if len(reservoir) < count:
+            reservoir.append(point)
+        else:
+            j = int(rng.integers(0, i + 1))
+            if j < count:
+                reservoir[j] = point
+        if i >= 20 * count:
+            break
+    if not reservoir:
+        raise ValueError("cannot sample queries from an empty index")
+    base = len(reservoir)
+    while len(reservoir) < count:
+        reservoir.append(reservoir[len(reservoir) % base])
+    return np.vstack(reservoir[:count])
+
+
+def _percentiles(samples_ms: list[float]) -> tuple[float, float]:
+    arr = np.asarray(samples_ms, dtype=np.float64)
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 95))
+
+
+def _result(mode, queries, k, wall, samples_ms, stats_delta, workers=1):
+    return ThroughputResult(
+        mode=mode,
+        queries=queries,
+        k=k,
+        wall_seconds=wall,
+        qps=queries / wall if wall > 0 else float("inf"),
+        p50_ms=_percentiles(samples_ms)[0],
+        p95_ms=_percentiles(samples_ms)[1],
+        page_reads_per_query=stats_delta.page_reads / queries,
+        buffer_hit_ratio=stats_delta.hit_ratio,
+        page_cache_hit_ratio=stats_delta.page_cache_hit_ratio,
+        workers=workers,
+    )
+
+
+def _run_single(path, queries, k, buffer_capacity, page_cache_capacity):
+    from ..indexes.factory import open_index
+
+    index = open_index(path, buffer_capacity, page_cache_capacity)
+    try:
+        index.store.drop_cache()
+        before = index.stats.snapshot()
+        samples: list[float] = []
+        t0 = time.perf_counter()
+        for point in queries:
+            q0 = time.perf_counter()
+            index.nearest(point, k=k)
+            samples.append((time.perf_counter() - q0) * 1e3)
+        wall = time.perf_counter() - t0
+        delta = index.stats.since(before)
+    finally:
+        index.store.close()
+    return _result("single", len(queries), k, wall, samples, delta)
+
+
+def _run_batched(path, queries, k, block_size, buffer_capacity,
+                 page_cache_capacity):
+    from ..exec import batch_knn
+    from ..indexes.factory import open_index
+
+    index = open_index(path, buffer_capacity, page_cache_capacity)
+    try:
+        index.store.drop_cache()
+        before = index.stats.snapshot()
+        samples: list[float] = []
+        t0 = time.perf_counter()
+        for start in range(0, len(queries), block_size):
+            block = queries[start : start + block_size]
+            b0 = time.perf_counter()
+            batch_knn(index, block, k, block_size=block_size)
+            # Amortized per-query latency within the block: a query's
+            # wall time is its block's wall time.
+            samples.extend([(time.perf_counter() - b0) * 1e3] * len(block))
+        wall = time.perf_counter() - t0
+        delta = index.stats.since(before)
+    finally:
+        index.store.close()
+    return _result("batched", len(queries), k, wall, samples, delta)
+
+
+def _run_parallel(path, queries, k, block_size, workers, buffer_capacity,
+                  page_cache_capacity):
+    from ..exec import ServingPool
+
+    with ServingPool(path, workers=workers, buffer_capacity=buffer_capacity,
+                     page_cache_capacity=page_cache_capacity) as pool:
+        pool.drop_caches()
+        before = pool.stats()
+        t0 = time.perf_counter()
+        pool.knn(queries, k=k, block_size=block_size)
+        wall = time.perf_counter() - t0
+        delta = pool.stats().since(before)
+        amortized = [wall / len(queries) * 1e3] * len(queries)
+        return _result("parallel", len(queries), k, wall, amortized, delta,
+                       workers=pool.workers)
+
+
+def run_throughput(
+    path,
+    queries: np.ndarray,
+    k: int = 21,
+    *,
+    modes=_MODES,
+    block_size: int = 64,
+    workers: int = 4,
+    buffer_capacity: int | None = None,
+    page_cache_capacity: int = 0,
+    dataset_info: dict | None = None,
+) -> dict:
+    """Measure every requested mode over the saved index at ``path``.
+
+    Returns the ``BENCH_throughput.json`` document as a dict.
+    """
+    queries = np.ascontiguousarray(queries, dtype=np.float64)
+    results: dict[str, ThroughputResult] = {}
+    for mode in modes:
+        if mode == "single":
+            results[mode] = _run_single(path, queries, k, buffer_capacity,
+                                        page_cache_capacity)
+        elif mode == "batched":
+            results[mode] = _run_batched(path, queries, k, block_size,
+                                         buffer_capacity, page_cache_capacity)
+        elif mode == "parallel":
+            results[mode] = _run_parallel(path, queries, k, block_size,
+                                          workers, buffer_capacity,
+                                          page_cache_capacity)
+        else:
+            raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
+    doc = {
+        "benchmark": "throughput",
+        "dataset": dict(dataset_info or {}),
+        "k": k,
+        "queries": int(queries.shape[0]),
+        "block_size": block_size,
+        "page_cache_capacity": page_cache_capacity,
+        "modes": {mode: asdict(res) for mode, res in results.items()},
+        "speedups": {},
+    }
+    single = results.get("single")
+    if single is not None:
+        for mode, res in results.items():
+            if mode != "single" and single.qps > 0:
+                doc["speedups"][f"{mode}_vs_single"] = res.qps / single.qps
+    return doc
+
+
+def write_json(doc: dict, out_path) -> None:
+    """Write the benchmark document as pretty-printed JSON."""
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -23,6 +23,10 @@ Usage (also via ``python -m repro``)::
     # Exercise an index and dump the metrics registry (Prometheus text).
     python -m repro stats --index images.srtree --queries 20 --format prom
 
+    # Serving throughput: single vs batched vs parallel execution.
+    python -m repro bench-throughput --index images.srtree --queries 500 \\
+        -k 21 --out BENCH_throughput.json
+
 The query command also reports the paper's cost metric (pages read by
 the cold query); see ``docs/OBSERVABILITY.md`` for the metric catalog
 and the tracing API behind ``--explain``.
@@ -121,6 +125,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="output format: Prometheus text exposition, "
                             "JSON, or a flat name=value listing")
     stats.set_defaults(handler=_cmd_stats)
+
+    bench = sub.add_parser(
+        "bench-throughput",
+        help="measure serving throughput (single vs batched vs parallel)",
+        description="Runs the same cold k-NN query set against a saved "
+                    "index under each execution mode of repro.exec and "
+                    "writes a BENCH_throughput.json document (see "
+                    "docs/PERFORMANCE.md for the schema).",
+    )
+    bench.add_argument("--index", required=True, help="saved index file")
+    bench.add_argument("--queries", type=int, default=500,
+                       help="number of k-NN queries (default 500)")
+    bench.add_argument("-k", type=int, default=21)
+    bench.add_argument("--modes", default="single,batched,parallel",
+                       help="comma-separated subset of single,batched,parallel")
+    bench.add_argument("--block-size", type=int, default=64,
+                       help="queries per traversal block (batched/parallel)")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker threads for the parallel mode")
+    bench.add_argument("--page-cache", type=int, default=0, metavar="PAGES",
+                       help="raw-image page cache per handle, in pages "
+                            "(default 0 = off)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", default="BENCH_throughput.json",
+                       help="output JSON path (default BENCH_throughput.json)")
+    bench.set_defaults(handler=_cmd_bench_throughput)
 
     return parser
 
@@ -234,6 +264,44 @@ def _exercise_index(index, *, queries: int, k: int, seed: int) -> None:
     for point in reservoir[:queries]:
         index.store.drop_cache()
         index.nearest(point, k=k)
+
+
+def _cmd_bench_throughput(args) -> int:
+    from .bench.throughput import run_throughput, sample_queries, write_json
+
+    modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    index = open_index(args.index)
+    try:
+        k = min(args.k, index.size)
+        queries = sample_queries(index, args.queries, seed=args.seed)
+        info = {
+            "index_kind": index.NAME,
+            "points": index.size,
+            "dims": index.dims,
+            "height": index.height,
+            "path": str(args.index),
+        }
+    finally:
+        index.store.close()
+    doc = run_throughput(
+        args.index,
+        queries,
+        k,
+        modes=modes,
+        block_size=args.block_size,
+        workers=args.workers,
+        page_cache_capacity=args.page_cache,
+        dataset_info=info,
+    )
+    write_json(doc, args.out)
+    for mode, res in doc["modes"].items():
+        print(f"{mode:>9}: {res['qps']:10.1f} qps  "
+              f"p50 {res['p50_ms']:.3f} ms  p95 {res['p95_ms']:.3f} ms  "
+              f"{res['page_reads_per_query']:.1f} pages/query")
+    for name, ratio in doc["speedups"].items():
+        print(f"speedup {name}: {ratio:.2f}x")
+    print(f"wrote {args.out}")
+    return 0
 
 
 def _print_registry(fmt: str) -> None:

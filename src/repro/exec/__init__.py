@@ -1,0 +1,32 @@
+"""Batched, zero-copy query execution engine.
+
+The per-query search code in :mod:`repro.search` prices one query
+against one node at a time.  This package amortizes that work across a
+whole *block* of queries:
+
+* :func:`~repro.exec.batch.batch_knn` / :func:`~repro.exec.batch.batch_range`
+  traverse the tree once per block, computing a ``(Q, children)``
+  MINDIST matrix per visited node
+  (:meth:`~repro.indexes.base.SpatialIndex.child_mindists_batch`) and a
+  ``(Q, count)`` leaf distance matrix
+  (:func:`~repro.geometry.point.cross_distances`) in single numpy
+  passes, with per-query pruning bounds kept in a NumPy array;
+* :class:`~repro.exec.parallel.ServingPool` serves a read-only on-disk
+  tree from several worker threads, each with its own buffer pool.
+
+Together with the zero-copy page decode
+(:class:`~repro.storage.serializer.NodeCodec`) and the raw-image
+:class:`~repro.storage.pagecache.PageCache`, this is the throughput
+path benchmarked by ``repro bench-throughput`` (see
+``docs/PERFORMANCE.md``).
+"""
+
+from .batch import DEFAULT_BLOCK_SIZE, batch_knn, batch_range
+from .parallel import ServingPool
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "ServingPool",
+    "batch_knn",
+    "batch_range",
+]

@@ -1,0 +1,176 @@
+"""Parallel serving over a read-only on-disk index.
+
+A saved index is immutable on disk, so it can be served by several
+workers at once without coordination: each worker re-opens the page
+file and gets a **private** buffer pool, page cache, and
+:class:`~repro.storage.stats.IOStats` bundle.  Workers are plain
+threads — the hot code is numpy kernels and file reads, both of which
+release the GIL, and thread workers keep the API free of pickling
+constraints on payload values.
+
+::
+
+    with ServingPool("tree.db", workers=4) as pool:
+        answers = pool.knn(queries, k=21)        # batched per worker
+    print(pool.stats().page_reads)
+
+Queries are sharded contiguously across workers; each worker runs the
+batched engine (:func:`repro.exec.batch.batch_knn`) over its shard, or
+the single-query search when ``batched=False`` (the baseline mode the
+throughput benchmark compares against).
+
+**Observability caveat.**  The query tracer (:mod:`repro.obs.tracer`)
+is deliberately single-threaded; do not enable tracing around pool
+calls.  Metric counters are process-global and remain *cumulatively*
+correct, but per-operation histograms interleave across workers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..geometry import as_points
+from ..indexes.base import Neighbor
+from ..storage.stats import IOStats
+
+__all__ = ["ServingPool"]
+
+
+class ServingPool:
+    """A fixed pool of worker threads, each owning a private index handle.
+
+    Parameters
+    ----------
+    path:
+        Page file written by ``index.save()`` / ``repro build``.
+    workers:
+        Worker count; defaults to ``min(4, cpu_count)``.
+    buffer_capacity:
+        Per-worker buffer pool frames (``None`` = store default).
+    page_cache_capacity:
+        Per-worker raw-image page cache, in pages (0 = off).
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        workers: int | None = None,
+        buffer_capacity: int | None = None,
+        page_cache_capacity: int = 0,
+    ) -> None:
+        from ..indexes.factory import open_index
+
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self._indexes = [
+            open_index(path, buffer_capacity, page_cache_capacity)
+            for _ in range(workers)
+        ]
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Number of worker threads (== private index handles)."""
+        return len(self._indexes)
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the served index."""
+        return self._indexes[0].dims
+
+    def knn(self, queries, k: int = 1, *, batched: bool = True,
+            block_size: int | None = None) -> list[list[Neighbor]]:
+        """The ``k`` nearest neighbors of every query, in input order.
+
+        ``batched=True`` (default) runs the block engine per shard;
+        ``batched=False`` loops ``index.nearest`` per query — same
+        results, used as the throughput baseline.
+        """
+        from .batch import DEFAULT_BLOCK_SIZE, batch_knn
+
+        queries = as_points(queries, self.dims)
+        if block_size is None:
+            block_size = DEFAULT_BLOCK_SIZE
+
+        def run(worker: int, shard: np.ndarray) -> list[list[Neighbor]]:
+            index = self._indexes[worker]
+            if batched:
+                return batch_knn(index, shard, k, block_size=block_size)
+            return [index.nearest(point, k=k) for point in shard]
+
+        return self._scatter(queries, run)
+
+    def range(self, queries, radius: float) -> list[list[Neighbor]]:
+        """All stored points within ``radius`` of every query, in input order."""
+        from .batch import batch_range
+
+        queries = as_points(queries, self.dims)
+
+        def run(worker: int, shard: np.ndarray) -> list[list[Neighbor]]:
+            return batch_range(self._indexes[worker], shard, radius)
+
+        return self._scatter(queries, run)
+
+    def _scatter(self, queries: np.ndarray, run) -> list[list[Neighbor]]:
+        if self._closed:
+            raise RuntimeError("serving pool is closed")
+        n = queries.shape[0]
+        shards = np.array_split(np.arange(n), len(self._indexes))
+        futures = []
+        for worker, shard in enumerate(shards):
+            if shard.size == 0:
+                continue
+            futures.append(
+                (shard, self._executor.submit(run, worker, queries[shard]))
+            )
+        results: list[list[Neighbor] | None] = [None] * n
+        for shard, future in futures:
+            out = future.result()
+            for pos, qi in enumerate(shard):
+                results[qi] = out[pos]
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> IOStats:
+        """Aggregate I/O counters summed over every worker."""
+        total = IOStats()
+        for index in self._indexes:
+            total = total + index.stats
+        return total
+
+    def drop_caches(self) -> None:
+        """Cold-start every worker (empties buffer pools and page caches)."""
+        for index in self._indexes:
+            index.store.drop_cache()
+
+    def close(self) -> None:
+        """Shut the executor down and close every page file handle.
+
+        The index is read-only here, so nothing is written back — the
+        store just releases its (clean) buffers and file descriptors.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        for index in self._indexes:
+            index.store.close()
+
+    def __enter__(self) -> "ServingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

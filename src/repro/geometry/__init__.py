@@ -12,14 +12,26 @@ This package is the computational kernel shared by every index structure:
 from .point import (
     as_point,
     as_points,
+    cross_distances,
     distance,
     distances_to_many,
     pairwise_distances,
     squared_distances_to_many,
 )
-from .rectangle import Rect, farthest_point_rects, mindist_point_rects, union_rects
+from .rectangle import (
+    Rect,
+    farthest_point_rects,
+    mindist_point_rects,
+    mindist_points_rects,
+    union_rects,
+)
 from .region import SRRegion
-from .sphere import Sphere, maxdist_point_spheres, mindist_point_spheres
+from .sphere import (
+    Sphere,
+    maxdist_point_spheres,
+    mindist_point_spheres,
+    mindist_points_spheres,
+)
 from .volume import (
     log_rect_volume,
     log_sphere_volume,
@@ -35,6 +47,7 @@ __all__ = [
     "Sphere",
     "as_point",
     "as_points",
+    "cross_distances",
     "distance",
     "distances_to_many",
     "farthest_point_rects",
@@ -44,6 +57,8 @@ __all__ = [
     "maxdist_point_spheres",
     "mindist_point_rects",
     "mindist_point_spheres",
+    "mindist_points_rects",
+    "mindist_points_spheres",
     "pairwise_distances",
     "rect_volume",
     "sphere_volume",

@@ -19,6 +19,7 @@ __all__ = [
     "as_point",
     "as_points",
     "check_dims",
+    "cross_distances",
     "distance",
     "distances_to_many",
     "pairwise_distances",
@@ -102,6 +103,20 @@ def squared_distances_to_many(point: np.ndarray, points: np.ndarray) -> np.ndarr
 def distances_to_many(point: np.ndarray, points: np.ndarray) -> np.ndarray:
     """Euclidean distances from ``point`` to each row of ``points``."""
     return np.sqrt(squared_distances_to_many(point, points))
+
+
+def cross_distances(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between a query block and a point block.
+
+    ``queries`` is ``(Q, D)``, ``points`` is ``(N, D)``; the result is
+    ``(Q, N)`` with ``result[q, n] = ||queries[q] - points[n]||``.  This
+    is the leaf-scan kernel of the batched query engine
+    (:mod:`repro.exec`): one numpy pass amortizes a whole query block
+    over a single decoded leaf.
+    """
+    diff = queries[:, None, :] - points[None, :, :]
+    sq = np.einsum("qnd,qnd->qn", diff, diff)
+    return np.sqrt(sq)
 
 
 def pairwise_distances(points: np.ndarray) -> np.ndarray:

@@ -23,6 +23,7 @@ from .point import as_point, as_points
 __all__ = [
     "Rect",
     "mindist_point_rects",
+    "mindist_points_rects",
     "farthest_point_rects",
     "union_rects",
 ]
@@ -207,6 +208,25 @@ def mindist_point_rects(point: np.ndarray, lows: np.ndarray, highs: np.ndarray) 
     """
     delta = np.maximum(np.maximum(lows - point, point - highs), 0.0)
     return np.sqrt(np.einsum("ij,ij->i", delta, delta))
+
+
+def mindist_points_rects(
+    points: np.ndarray, lows: np.ndarray, highs: np.ndarray
+) -> np.ndarray:
+    """MINDIST from each of Q points to each of N rectangles, vectorised.
+
+    The query-block kernel behind :mod:`repro.exec`: ``points`` is a
+    ``(Q, D)`` block, ``lows``/``highs`` are ``(N, D)`` bound matrices.
+    Returns a ``(Q, N)`` distance matrix (0 where a point lies inside a
+    rectangle).  Row ``q`` equals
+    ``mindist_point_rects(points[q], lows, highs)``.
+    """
+    delta = np.maximum(
+        np.maximum(lows[None, :, :] - points[:, None, :],
+                   points[:, None, :] - highs[None, :, :]),
+        0.0,
+    )
+    return np.sqrt(np.einsum("qnd,qnd->qn", delta, delta))
 
 
 def farthest_point_rects(point: np.ndarray, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:

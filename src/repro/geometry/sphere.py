@@ -18,6 +18,7 @@ from .point import as_point, as_points, distances_to_many
 __all__ = [
     "Sphere",
     "mindist_point_spheres",
+    "mindist_points_spheres",
     "maxdist_point_spheres",
 ]
 
@@ -142,6 +143,20 @@ def mindist_point_spheres(
     diff = centers - point
     gaps = np.sqrt(np.einsum("ij,ij->i", diff, diff))
     return np.maximum(gaps - radii, 0.0)
+
+
+def mindist_points_spheres(
+    points: np.ndarray, centers: np.ndarray, radii: np.ndarray
+) -> np.ndarray:
+    """MINDIST from each of Q points to each of N spheres, vectorised.
+
+    The query-block kernel behind :mod:`repro.exec`: ``points`` is a
+    ``(Q, D)`` block.  Returns a ``(Q, N)`` distance matrix; row ``q``
+    equals ``mindist_point_spheres(points[q], centers, radii)``.
+    """
+    diff = centers[None, :, :] - points[:, None, :]
+    gaps = np.sqrt(np.einsum("qnd,qnd->qn", diff, diff))
+    return np.maximum(gaps - radii[None, :], 0.0)
 
 
 def maxdist_point_spheres(

@@ -93,6 +93,7 @@ class _IndexConfig:
     buffer_capacity: int = DEFAULT_BUFFER_CAPACITY
     min_utilization: float = 0.4
     reinsert_fraction: float = 0.3
+    page_cache_capacity: int = 0
     extras: dict = field(default_factory=dict)
 
 
@@ -122,6 +123,7 @@ class SpatialIndex(ABC):
         min_utilization: float = 0.4,
         reinsert_fraction: float = 0.3,
         stats: IOStats | None = None,
+        page_cache_capacity: int = 0,
     ) -> None:
         self._layout = NodeLayout(
             dims=dims,
@@ -131,13 +133,17 @@ class SpatialIndex(ABC):
             page_size=page_size,
             leaf_data_size=leaf_data_size,
         )
-        self._store = NodeStore(self._layout, pagefile, buffer_capacity, stats)
+        self._store = NodeStore(
+            self._layout, pagefile, buffer_capacity, stats,
+            page_cache_capacity=page_cache_capacity,
+        )
         self._config = _IndexConfig(
             page_size=page_size,
             leaf_data_size=leaf_data_size,
             buffer_capacity=buffer_capacity,
             min_utilization=min_utilization,
             reinsert_fraction=reinsert_fraction,
+            page_cache_capacity=page_cache_capacity,
         )
         self._size = 0
         root = self._store.new_leaf()
@@ -234,6 +240,32 @@ class SpatialIndex(ABC):
         branch-and-bound search (Section 4.4) and deletion lookups.
         """
 
+    def child_mindists_batch(
+        self, node: InternalNode, points: np.ndarray
+    ) -> np.ndarray:
+        """``(Q, count)`` MINDIST matrix from each query to each child.
+
+        The query-block analogue of :meth:`child_mindists`, used by the
+        batched execution engine (:mod:`repro.exec`): one vectorised
+        numpy pass prices every child region of ``node`` against a whole
+        block of queries.  Row ``q`` must equal
+        ``child_mindists(node, points[q])``; the default covers every
+        region shape combination, and subclasses with bespoke MINDIST
+        rules (e.g. the SR-tree's ``mindist_rule``) override it.
+        """
+        from ..geometry import mindist_points_rects, mindist_points_spheres
+
+        n = node.count
+        if self.HAS_RECTS and self.HAS_SPHERES:
+            rect = mindist_points_rects(points, node.lows[:n], node.highs[:n])
+            sphere = mindist_points_spheres(
+                points, node.centers[:n], node.radii[:n]
+            )
+            return np.maximum(rect, sphere)
+        if self.HAS_SPHERES:
+            return mindist_points_spheres(points, node.centers[:n], node.radii[:n])
+        return mindist_points_rects(points, node.lows[:n], node.highs[:n])
+
     # ------------------------------------------------------------------
     # queries (shared)
     # ------------------------------------------------------------------
@@ -264,6 +296,18 @@ class SpatialIndex(ABC):
         raise ValueError(
             f"unknown algorithm {algorithm!r}; use 'depth-first' or 'best-first'"
         )
+
+    def nearest_batch(self, points, k: int = 1) -> list[list[Neighbor]]:
+        """The ``k`` nearest neighbors of *each* query point, batched.
+
+        Convenience wrapper over :func:`repro.exec.batch_knn`, which
+        amortizes the tree traversal across the whole query block (one
+        vectorised MINDIST pass per visited node instead of one scan per
+        query per node).  Results match :meth:`nearest` exactly.
+        """
+        from ..exec import batch_knn
+
+        return batch_knn(self, points, k)
 
     def within(self, point, radius: float) -> list[Neighbor]:
         """All stored points within ``radius`` of ``point``, closest first."""
@@ -376,11 +420,14 @@ class SpatialIndex(ABC):
 
     @classmethod
     def open(cls, pagefile: PageFile,
-             buffer_capacity: int = DEFAULT_BUFFER_CAPACITY) -> "SpatialIndex":
+             buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
+             page_cache_capacity: int = 0) -> "SpatialIndex":
         """Re-open an index previously written with :meth:`save`.
 
         The page file's meta page supplies every construction parameter;
         the class must match the one that wrote the file.
+        ``page_cache_capacity`` (pages, 0 = off) sizes the optional
+        raw-image cache between the buffer pool and the page file.
         """
         probe_layout = NodeLayout(
             dims=1,
@@ -395,7 +442,8 @@ class SpatialIndex(ABC):
                 f"page file holds a {meta['index']!r} index, not {cls.NAME!r}"
             )
         index = cls.__new__(cls)
-        _restore(index, cls, pagefile, buffer_capacity, meta)
+        _restore(index, cls, pagefile, buffer_capacity, meta,
+                 page_cache_capacity=page_cache_capacity)
         index._restore_extra(meta)
         return index
 
@@ -405,7 +453,8 @@ class SpatialIndex(ABC):
         self._store.close()
 
 
-def _restore(index: SpatialIndex, cls, pagefile, buffer_capacity, meta) -> None:
+def _restore(index: SpatialIndex, cls, pagefile, buffer_capacity, meta,
+             page_cache_capacity: int = 0) -> None:
     """Rebuild a live index object around an existing page file."""
     index._layout = NodeLayout(
         dims=meta["dims"],
@@ -415,13 +464,15 @@ def _restore(index: SpatialIndex, cls, pagefile, buffer_capacity, meta) -> None:
         page_size=meta["page_size"],
         leaf_data_size=meta["leaf_data_size"],
     )
-    index._store = NodeStore(index._layout, pagefile, buffer_capacity)
+    index._store = NodeStore(index._layout, pagefile, buffer_capacity,
+                             page_cache_capacity=page_cache_capacity)
     index._config = _IndexConfig(
         page_size=meta["page_size"],
         leaf_data_size=meta["leaf_data_size"],
         buffer_capacity=buffer_capacity,
         min_utilization=meta["min_utilization"],
         reinsert_fraction=meta["reinsert_fraction"],
+        page_cache_capacity=page_cache_capacity,
     )
     index._root_id = meta["root_id"]
     index._height = meta["height"]

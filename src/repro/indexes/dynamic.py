@@ -117,6 +117,7 @@ class DynamicTree(SpatialIndex):
             raise KeyNotFoundError(f"point {point.tolist()} not found")
         path, leaf_index = found
         leaf = path[-1]
+        leaf.ensure_mutable()
         leaf.points[leaf_index] = leaf.points[leaf.count - 1]
         leaf.values[leaf_index] = leaf.values[leaf.count - 1]
         leaf.values.pop()
@@ -278,6 +279,7 @@ class DynamicTree(SpatialIndex):
 
         parent = path[-2]
         index = parent.find_child(old.page_id)
+        parent.ensure_mutable()
         parent.child_ids[index] = left.page_id
         parent.set_entry(index, **self._entry_fields(left))
         parent.add(right.page_id, **self._entry_fields(right))
@@ -300,6 +302,7 @@ class DynamicTree(SpatialIndex):
         else:
             parent = path[-2]
             index = parent.find_child(old.page_id)
+            parent.ensure_mutable()
             parent.child_ids[index] = grown.page_id
             parent.set_entry(index, **self._entry_fields(grown))
             self._store.write(parent)

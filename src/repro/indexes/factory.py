@@ -72,11 +72,13 @@ def build_index(kind: str, points, values=None, **kwargs) -> SpatialIndex:
     return index
 
 
-def open_index(path, buffer_capacity: int | None = None) -> SpatialIndex:
+def open_index(path, buffer_capacity: int | None = None,
+               page_cache_capacity: int = 0) -> SpatialIndex:
     """Re-open a saved index from a page file on disk.
 
     The index kind is read from the file's meta page, so callers do not
-    need to know which class wrote it.
+    need to know which class wrote it.  ``page_cache_capacity`` (pages,
+    0 = off) enables the raw-image cache below the buffer pool.
     """
     from ..storage import DEFAULT_BUFFER_CAPACITY, FilePageFile, NodeLayout, NodeStore
 
@@ -95,4 +97,5 @@ def open_index(path, buffer_capacity: int | None = None) -> SpatialIndex:
     except KeyError:
         raise ValueError(f"file holds an unknown index kind {meta['index']!r}") from None
     capacity = buffer_capacity if buffer_capacity else DEFAULT_BUFFER_CAPACITY
-    return cls.open(pagefile, buffer_capacity=capacity)
+    return cls.open(pagefile, buffer_capacity=capacity,
+                    page_cache_capacity=page_cache_capacity)

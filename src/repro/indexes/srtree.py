@@ -22,8 +22,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..geometry.rectangle import farthest_point_rects, mindist_point_rects
-from ..geometry.sphere import mindist_point_spheres
+from ..geometry.rectangle import (
+    farthest_point_rects,
+    mindist_point_rects,
+    mindist_points_rects,
+)
+from ..geometry.sphere import mindist_point_spheres, mindist_points_spheres
 from ..storage.nodes import InternalNode, LeafNode
 from .sstree import SSTree
 
@@ -130,6 +134,20 @@ class SRTree(SSTree):
         if self._mindist_rule == "sphere":
             return sphere_dists
         rect_dists = mindist_point_rects(point, node.lows[:n], node.highs[:n])
+        return np.maximum(sphere_dists, rect_dists)
+
+    def child_mindists_batch(
+        self, node: InternalNode, points: np.ndarray
+    ) -> np.ndarray:
+        n = node.count
+        if self._mindist_rule == "rect":
+            return mindist_points_rects(points, node.lows[:n], node.highs[:n])
+        sphere_dists = mindist_points_spheres(
+            points, node.centers[:n], node.radii[:n]
+        )
+        if self._mindist_rule == "sphere":
+            return sphere_dists
+        rect_dists = mindist_points_rects(points, node.lows[:n], node.highs[:n])
         return np.maximum(sphere_dists, rect_dists)
 
     # ------------------------------------------------------------------

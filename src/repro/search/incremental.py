@@ -9,6 +9,10 @@ e.g. "closest image with a licence" or distance-bounded joins.
 
 This is an extension beyond the paper (which fixes k = 21 throughout),
 built on the same per-family MINDIST bounds.
+
+``iter_nearest`` reads ``trace.active`` once when the generator starts
+and runs either an untraced loop (no span branches per node or child)
+or a traced twin that records visit/prune/queue events.
 """
 
 from __future__ import annotations
@@ -41,9 +45,25 @@ def iter_nearest(index, point: np.ndarray, max_distance: float = float("inf"),
     distance is no greater than the MINDIST of every unexpanded subtree
     still in the queue.
     """
+    span = trace.active
+    if span is None:
+        return _iter_nearest(index, point, max_distance)
+    return _iter_nearest_traced(index, point, max_distance, span)
+
+
+def _leaf_candidates(node, point: np.ndarray, stats) -> np.ndarray:
+    pts = node.points[: node.count]
+    diff = pts - point
+    dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    stats.distance_computations += node.count
+    return pts, dists
+
+
+def _iter_nearest(index, point: np.ndarray,
+                  max_distance: float) -> Iterator[Neighbor]:
+    """Untraced fast path: zero tracing branches in the queue loop."""
     stats = index.stats
     tiebreak = count()
-    span = trace.active
     # Items: (distance, kind, tiebreak, payload); kind orders points
     # before nodes at equal distance so exact hits surface immediately.
     queue: list[tuple] = [(0.0, _NODE, next(tiebreak), index.root_id)]
@@ -56,16 +76,10 @@ def iter_nearest(index, point: np.ndarray, max_distance: float = float("inf"),
             yield Neighbor(dist, candidate_point, value)
             continue
         node = index.read_node(payload)
-        if span is not None:
-            span.visit(payload, node.level, dist, max_distance)
-            span.queue(len(queue), popped=1)
         if node.is_leaf:
             if node.count == 0:
                 continue
-            pts = node.points[: node.count]
-            diff = pts - point
-            dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-            stats.distance_computations += node.count
+            pts, dists = _leaf_candidates(node, point, stats)
             for i in range(node.count):
                 if dists[i] <= max_distance:
                     heapq.heappush(
@@ -73,8 +87,48 @@ def iter_nearest(index, point: np.ndarray, max_distance: float = float("inf"),
                         (float(dists[i]), _POINT, next(tiebreak),
                          (pts[i].copy(), node.values[i])),
                     )
-            if span is not None:
-                span.queue(len(queue))
+            continue
+        child_dists = index.child_mindists(node, point)
+        stats.distance_computations += node.count
+        child_ids = node.child_ids
+        for i in range(node.count):
+            if child_dists[i] <= max_distance:
+                heapq.heappush(
+                    queue,
+                    (float(child_dists[i]), _NODE, next(tiebreak),
+                     int(child_ids[i])),
+                )
+
+
+def _iter_nearest_traced(index, point: np.ndarray, max_distance: float,
+                         span) -> Iterator[Neighbor]:
+    """Traced twin of :func:`_iter_nearest`."""
+    stats = index.stats
+    tiebreak = count()
+    queue: list[tuple] = [(0.0, _NODE, next(tiebreak), index.root_id)]
+    while queue:
+        dist, kind, _, payload = heapq.heappop(queue)
+        if dist > max_distance:
+            return
+        if kind == _POINT:
+            candidate_point, value = payload
+            yield Neighbor(dist, candidate_point, value)
+            continue
+        node = index.read_node(payload)
+        span.visit(payload, node.level, dist, max_distance)
+        span.queue(len(queue), popped=1)
+        if node.is_leaf:
+            if node.count == 0:
+                continue
+            pts, dists = _leaf_candidates(node, point, stats)
+            for i in range(node.count):
+                if dists[i] <= max_distance:
+                    heapq.heappush(
+                        queue,
+                        (float(dists[i]), _POINT, next(tiebreak),
+                         (pts[i].copy(), node.values[i])),
+                    )
+            span.queue(len(queue))
             continue
         child_dists = index.child_mindists(node, point)
         stats.distance_computations += node.count
@@ -85,8 +139,7 @@ def iter_nearest(index, point: np.ndarray, max_distance: float = float("inf"),
                     (float(child_dists[i]), _NODE, next(tiebreak),
                      int(node.child_ids[i])),
                 )
-                if span is not None:
-                    span.queue(len(queue), pushed=1)
-            elif span is not None:
+                span.queue(len(queue), pushed=1)
+            else:
                 span.prune(int(node.child_ids[i]), node.level - 1,
                            float(child_dists[i]), max_distance)

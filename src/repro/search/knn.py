@@ -18,6 +18,13 @@ R*-tree family, spheres for the SS-tree, and the combined
 Distance computations are tallied into the index's
 :class:`~repro.storage.stats.IOStats` as a machine-independent CPU-cost
 proxy; physical page reads are counted by the node store itself.
+
+**Tracing cost.**  Each algorithm reads ``trace.active`` exactly once
+per query and dispatches to either an untraced fast path (no span
+branches anywhere in the per-node loops) or a traced twin that records
+visit/prune/queue events.  The price is a second small code path per
+algorithm; the payoff is that the overwhelmingly common untraced query
+pays a single branch, not one per node and child.
 """
 
 from __future__ import annotations
@@ -54,26 +61,63 @@ class KnnCandidates:
         return -self._heap[0][0]
 
     def offer(self, distance: float, point: np.ndarray, value: object) -> None:
-        """Consider one candidate."""
-        if len(self._heap) < self.k:
-            heapq.heappush(self._heap, (-distance, next(self._tiebreak), point, value))
-        elif distance < -self._heap[0][0]:
-            heapq.heapreplace(self._heap, (-distance, next(self._tiebreak), point, value))
+        """Consider one candidate.
+
+        The reject path — by far the most common once the heap is full —
+        reads the bound once and returns without allocating the heap
+        tuple or drawing a tiebreak number.
+        """
+        heap = self._heap
+        if len(heap) < self.k:
+            heapq.heappush(heap, (-distance, next(self._tiebreak), point, value))
+            return
+        if distance >= -heap[0][0]:
+            return
+        heapq.heapreplace(heap, (-distance, next(self._tiebreak), point, value))
 
     def offer_batch(self, distances: np.ndarray, points: np.ndarray, values) -> None:
-        """Consider a leaf's worth of candidates at once."""
-        bound = self.bound
-        for i in np.argsort(distances, kind="stable"):
+        """Consider a leaf's worth of candidates at once.
+
+        Candidates are taken in ascending distance order, so the first
+        one at or beyond the bound ends the leaf: everything after it in
+        the sorted order is rejected wholesale without per-candidate
+        bound reads or tuple allocation.
+        """
+        heap = self._heap
+        tiebreak = self._tiebreak
+        order = np.argsort(distances, kind="stable")
+        n = order.shape[0]
+        pos = 0
+        fill = self.k - len(heap)
+        while fill > 0 and pos < n:
+            i = order[pos]
+            heapq.heappush(
+                heap,
+                (-float(distances[i]), next(tiebreak), points[i].copy(), values[i]),
+            )
+            pos += 1
+            fill -= 1
+        if pos >= n:
+            return
+        bound = -heap[0][0]
+        for i in order[pos:]:
             d = float(distances[i])
-            if d >= bound and len(self._heap) >= self.k:
+            if d >= bound:
                 break
-            self.offer(d, points[i].copy(), values[i])
-            bound = self.bound
+            heapq.heapreplace(
+                heap, (-d, next(tiebreak), points[i].copy(), values[i])
+            )
+            bound = -heap[0][0]
 
     def results(self) -> list[Neighbor]:
         """The candidates as :class:`Neighbor` objects, closest first."""
         ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
         return [Neighbor(-d, point, value) for d, _, point, value in ordered]
+
+
+# ----------------------------------------------------------------------
+# depth-first branch-and-bound
+# ----------------------------------------------------------------------
 
 
 def knn_search(index, point: np.ndarray, k: int) -> list[Neighbor]:
@@ -85,10 +129,68 @@ def knn_search(index, point: np.ndarray, k: int) -> list[Neighbor]:
     candidates = KnnCandidates(k)
     stats = index.stats
     span = trace.active
-    if span is not None:
+    if span is None:
+        _visit(index, index.root_id, point, candidates, stats)
+    else:
         span.visit(index.root_id, index.height - 1, 0.0)
-    _visit(index, index.root_id, point, candidates, stats, span)
+        _visit_traced(index, index.root_id, point, candidates, stats, span)
     return candidates.results()
+
+
+def _scan_leaf(node, point, candidates, stats) -> None:
+    if node.count == 0:
+        return
+    pts = node.points[: node.count]
+    diff = pts - point
+    dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    stats.distance_computations += node.count
+    candidates.offer_batch(dists, pts, node.values)
+
+
+def _visit(index, page_id: int, point: np.ndarray, candidates: KnnCandidates,
+           stats) -> None:
+    """Untraced fast path: zero tracing branches in the hot loop."""
+    node = index.read_node(page_id)
+    if node.is_leaf:
+        _scan_leaf(node, point, candidates, stats)
+        return
+    dists = index.child_mindists(node, point)
+    stats.distance_computations += node.count
+    child_ids = node.child_ids
+    for i in np.argsort(dists, kind="stable"):
+        # Children are visited in MINDIST order, so once one exceeds the
+        # current bound every later one does too.
+        if dists[i] > candidates.bound:
+            break
+        _visit(index, int(child_ids[i]), point, candidates, stats)
+
+
+def _visit_traced(index, page_id: int, point: np.ndarray,
+                  candidates: KnnCandidates, stats, span) -> None:
+    """Traced twin of :func:`_visit`: records visit/prune events."""
+    node = index.read_node(page_id)
+    if node.is_leaf:
+        _scan_leaf(node, point, candidates, stats)
+        return
+    dists = index.child_mindists(node, point)
+    stats.distance_computations += node.count
+    order = np.argsort(dists, kind="stable")
+    for pos, i in enumerate(order):
+        if dists[i] > candidates.bound:
+            bound = candidates.bound
+            for j in order[pos:]:
+                span.prune(int(node.child_ids[j]), node.level - 1,
+                           float(dists[j]), bound)
+            break
+        span.visit(int(node.child_ids[i]), node.level - 1, float(dists[i]),
+                   candidates.bound)
+        _visit_traced(index, int(node.child_ids[i]), point, candidates, stats,
+                      span)
+
+
+# ----------------------------------------------------------------------
+# best-first (Hjaltason & Samet)
+# ----------------------------------------------------------------------
 
 
 def knn_search_best_first(index, point: np.ndarray, k: int) -> list[Neighbor]:
@@ -106,39 +208,63 @@ def knn_search_best_first(index, point: np.ndarray, k: int) -> list[Neighbor]:
     Returns the same results as :func:`knn_search`.
     """
     candidates = KnnCandidates(k)
+    span = trace.active
+    if span is None:
+        _best_first(index, point, candidates)
+    else:
+        _best_first_traced(index, point, candidates, span)
+    return candidates.results()
+
+
+def _best_first(index, point: np.ndarray, candidates: KnnCandidates) -> None:
+    """Untraced fast path of the best-first traversal."""
     stats = index.stats
     tiebreak = count()
-    span = trace.active
-    # Page-id -> level side table, kept only while tracing, so queue
-    # leftovers can be attributed to their tree level at prune time.
-    levels: dict[int, int] | None = (
-        {index.root_id: index.height - 1} if span is not None else None
-    )
     # Queue items: (mindist, tiebreak, page_id).
     queue: list[tuple[float, int, int]] = [(0.0, next(tiebreak), index.root_id)]
     while queue:
         dist, _, page_id = heapq.heappop(queue)
         if dist > candidates.bound:
             # Every remaining subtree is farther than the k-th best.
-            if span is not None:
-                span.prune(page_id, levels.get(page_id, -1), dist,
-                           candidates.bound)
-                for leftover_dist, _, leftover_id in queue:
-                    span.prune(leftover_id, levels.get(leftover_id, -1),
-                               leftover_dist, candidates.bound)
             break
         node = index.read_node(page_id)
-        if span is not None:
-            span.visit(page_id, node.level, dist, candidates.bound)
-            span.queue(len(queue), popped=1)
         if node.is_leaf:
-            if node.count == 0:
-                continue
-            pts = node.points[: node.count]
-            diff = pts - point
-            dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-            stats.distance_computations += node.count
-            candidates.offer_batch(dists, pts, node.values)
+            _scan_leaf(node, point, candidates, stats)
+            continue
+        child_dists = index.child_mindists(node, point)
+        stats.distance_computations += node.count
+        bound = candidates.bound
+        child_ids = node.child_ids
+        for i in range(node.count):
+            if child_dists[i] <= bound:
+                heapq.heappush(
+                    queue,
+                    (float(child_dists[i]), next(tiebreak), int(child_ids[i])),
+                )
+
+
+def _best_first_traced(index, point: np.ndarray, candidates: KnnCandidates,
+                       span) -> None:
+    """Traced twin of :func:`_best_first`."""
+    stats = index.stats
+    tiebreak = count()
+    # Page-id -> level side table so queue leftovers can be attributed
+    # to their tree level at prune time.
+    levels: dict[int, int] = {index.root_id: index.height - 1}
+    queue: list[tuple[float, int, int]] = [(0.0, next(tiebreak), index.root_id)]
+    while queue:
+        dist, _, page_id = heapq.heappop(queue)
+        if dist > candidates.bound:
+            span.prune(page_id, levels.get(page_id, -1), dist, candidates.bound)
+            for leftover_dist, _, leftover_id in queue:
+                span.prune(leftover_id, levels.get(leftover_id, -1),
+                           leftover_dist, candidates.bound)
+            break
+        node = index.read_node(page_id)
+        span.visit(page_id, node.level, dist, candidates.bound)
+        span.queue(len(queue), popped=1)
+        if node.is_leaf:
+            _scan_leaf(node, point, candidates, stats)
             continue
         child_dists = index.child_mindists(node, point)
         stats.distance_computations += node.count
@@ -150,42 +276,8 @@ def knn_search_best_first(index, point: np.ndarray, k: int) -> list[Neighbor]:
                     queue,
                     (float(child_dists[i]), next(tiebreak), child_id),
                 )
-                if span is not None:
-                    levels[child_id] = node.level - 1
-                    span.queue(len(queue), pushed=1)
-            elif span is not None:
+                levels[child_id] = node.level - 1
+                span.queue(len(queue), pushed=1)
+            else:
                 span.prune(int(node.child_ids[i]), node.level - 1,
                            float(child_dists[i]), bound)
-    return candidates.results()
-
-
-def _visit(index, page_id: int, point: np.ndarray, candidates: KnnCandidates,
-           stats, span=None) -> None:
-    node = index.read_node(page_id)
-    if node.is_leaf:
-        if node.count == 0:
-            return
-        pts = node.points[: node.count]
-        diff = pts - point
-        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        stats.distance_computations += node.count
-        candidates.offer_batch(dists, pts, node.values)
-        return
-
-    dists = index.child_mindists(node, point)
-    stats.distance_computations += node.count
-    order = np.argsort(dists, kind="stable")
-    for pos, i in enumerate(order):
-        # Children are visited in MINDIST order, so once one exceeds the
-        # current bound every later one does too.
-        if dists[i] > candidates.bound:
-            if span is not None:
-                bound = candidates.bound
-                for j in order[pos:]:
-                    span.prune(int(node.child_ids[j]), node.level - 1,
-                               float(dists[j]), bound)
-            break
-        if span is not None:
-            span.visit(int(node.child_ids[i]), node.level - 1, float(dists[i]),
-                       candidates.bound)
-        _visit(index, int(node.child_ids[i]), point, candidates, stats, span)

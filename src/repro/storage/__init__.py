@@ -17,6 +17,7 @@ from .constants import (
 )
 from .layout import NodeLayout
 from .nodes import InternalNode, LeafNode
+from .pagecache import PageCache
 from .pagefile import FilePageFile, InMemoryPageFile, PageFile
 from .serializer import NodeCodec
 from .stats import IOStats
@@ -36,5 +37,6 @@ __all__ = [
     "NodeCodec",
     "NodeLayout",
     "NodeStore",
+    "PageCache",
     "PageFile",
 ]

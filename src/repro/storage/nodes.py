@@ -10,6 +10,15 @@ A :class:`LeafNode` stores points plus an opaque per-point value.  An
 present depends on the index family (rectangles for the R*-tree family,
 spheres for the SS-tree, both for the SR-tree), governed by the
 :class:`~repro.storage.layout.NodeLayout`.
+
+**Zero-copy decode.**  Nodes deserialized by the page codec arrive
+*frozen*: their entry arrays are read-only ``np.frombuffer`` views that
+alias the page image instead of copies (see
+:class:`~repro.storage.serializer.NodeCodec`).  Reads — the entire
+search path — work on the views directly.  The first mutation calls
+:meth:`ensure_mutable`, which materializes the usual pre-allocated
+``capacity + 1`` arrays (copy-on-write); the handful of call sites that
+poke entry arrays directly must call :meth:`ensure_mutable` themselves.
 """
 
 from __future__ import annotations
@@ -37,7 +46,8 @@ class LeafNode:
         entries through forced reinsertion; cleared by a split.
     """
 
-    __slots__ = ("page_id", "dims", "capacity", "count", "points", "values", "reinserted")
+    __slots__ = ("page_id", "dims", "capacity", "count", "points", "values",
+                 "reinserted", "frozen")
 
     def __init__(self, page_id: int, dims: int, capacity: int) -> None:
         self.page_id = page_id
@@ -47,6 +57,37 @@ class LeafNode:
         self.points = np.empty((capacity + 1, dims), dtype=np.float64)
         self.values: list[object] = []
         self.reinserted = False
+        #: True while the entry arrays are read-only views over the page
+        #: image (zero-copy decode); cleared by :meth:`ensure_mutable`.
+        self.frozen = False
+
+    @classmethod
+    def from_views(cls, page_id: int, dims: int, capacity: int, count: int,
+                   points: np.ndarray, values: list[object]) -> "LeafNode":
+        """Build a frozen leaf whose point rows alias a page image.
+
+        ``points`` is a read-only ``(count, dims)`` view; no data is
+        copied until the node is mutated.
+        """
+        leaf = cls.__new__(cls)
+        leaf.page_id = page_id
+        leaf.dims = dims
+        leaf.capacity = capacity
+        leaf.count = count
+        leaf.points = points
+        leaf.values = values
+        leaf.reinserted = False
+        leaf.frozen = True
+        return leaf
+
+    def ensure_mutable(self) -> None:
+        """Materialize writable ``capacity + 1`` arrays (copy-on-write)."""
+        if not self.frozen:
+            return
+        points = np.empty((self.capacity + 1, self.dims), dtype=np.float64)
+        points[: self.count] = self.points[: self.count]
+        self.points = points
+        self.frozen = False
 
     @property
     def is_leaf(self) -> bool:
@@ -80,6 +121,7 @@ class LeafNode:
         """Append an entry; the caller handles overflow (count may reach capacity + 1)."""
         if self.count > self.capacity:
             raise ValueError("leaf already holds an overflow entry")
+        self.ensure_mutable()
         self.points[self.count] = point
         self.values.append(value)
         self.count += 1
@@ -88,6 +130,7 @@ class LeafNode:
         """Remove and return the entry at ``index`` (order not preserved)."""
         if not 0 <= index < self.count:
             raise IndexError(index)
+        self.ensure_mutable()
         point = self.points[index].copy()
         value = self.values[index]
         last = self.count - 1
@@ -137,6 +180,7 @@ class InternalNode:
         "radii",
         "reinserted",
         "extra_pages",
+        "frozen",
     )
 
     def __init__(
@@ -168,6 +212,77 @@ class InternalNode:
         # Continuation pages of an X-tree-style supernode (empty for an
         # ordinary single-page node).
         self.extra_pages: list[int] = []
+        #: True while the entry arrays are read-only views over the page
+        #: image (zero-copy decode); cleared by :meth:`ensure_mutable`.
+        self.frozen = False
+
+    @classmethod
+    def from_views(
+        cls,
+        page_id: int,
+        dims: int,
+        capacity: int,
+        level: int,
+        count: int,
+        child_ids: np.ndarray,
+        weights: np.ndarray | None,
+        lows: np.ndarray | None,
+        highs: np.ndarray | None,
+        centers: np.ndarray | None,
+        radii: np.ndarray | None,
+        extra_pages: list[int],
+    ) -> "InternalNode":
+        """Build a frozen internal node whose entry arrays alias a page image.
+
+        All arrays are read-only ``(count, ...)`` views (``child_ids`` and
+        ``weights`` may be narrower integer dtypes than the canonical
+        int64); nothing is copied until the node is mutated.
+        """
+        node = cls.__new__(cls)
+        node.page_id = page_id
+        node.dims = dims
+        node.capacity = capacity
+        node.level = level
+        node.count = count
+        node.child_ids = child_ids
+        node.weights = weights
+        node.lows = lows
+        node.highs = highs
+        node.centers = centers
+        node.radii = radii
+        node.reinserted = False
+        node.extra_pages = extra_pages
+        node.frozen = True
+        return node
+
+    def ensure_mutable(self) -> None:
+        """Materialize writable ``capacity + 1`` arrays (copy-on-write)."""
+        if not self.frozen:
+            return
+        rows = self.capacity + 1
+        n = self.count
+        child_ids = np.zeros(rows, dtype=np.int64)
+        child_ids[:n] = self.child_ids[:n]
+        self.child_ids = child_ids
+        if self.weights is not None:
+            weights = np.zeros(rows, dtype=np.int64)
+            weights[:n] = self.weights[:n]
+            self.weights = weights
+        if self.lows is not None:
+            lows = np.empty((rows, self.dims), dtype=np.float64)
+            highs = np.empty((rows, self.dims), dtype=np.float64)
+            lows[:n] = self.lows[:n]
+            highs[:n] = self.highs[:n]
+            self.lows = lows
+            self.highs = highs
+        if self.centers is not None:
+            centers = np.empty((rows, self.dims), dtype=np.float64)
+            radii = np.empty(rows, dtype=np.float64)
+            centers[:n] = self.centers[:n]
+            radii[:n] = self.radii[:n]
+            self.centers = centers
+            self.radii = radii
+        self.frozen = False
 
     @property
     def is_leaf(self) -> bool:
@@ -215,6 +330,7 @@ class InternalNode:
         """Append a child entry; the caller handles overflow."""
         if self.count > self.capacity:
             raise ValueError("node already holds an overflow entry")
+        self.ensure_mutable()
         i = self.count
         self.child_ids[i] = child_id
         if self.lows is not None:
@@ -246,6 +362,7 @@ class InternalNode:
         """Overwrite the region/weight of the entry at ``index`` in place."""
         if not 0 <= index < self.count:
             raise IndexError(index)
+        self.ensure_mutable()
         if self.lows is not None and low is not None:
             self.lows[index] = low
             self.highs[index] = high
@@ -259,6 +376,7 @@ class InternalNode:
         """Remove the entry at ``index`` (order not preserved)."""
         if not 0 <= index < self.count:
             raise IndexError(index)
+        self.ensure_mutable()
         last = self.count - 1
         if index != last:
             self.child_ids[index] = self.child_ids[last]

@@ -9,16 +9,15 @@ across buffer evictions safely.
 
 from __future__ import annotations
 
-import pickle
-
 from ..exceptions import StorageError
 from ..obs.tracer import trace
 from .buffer import BufferPool
 from .constants import META_PAGE_ID
 from .layout import NodeLayout
 from .nodes import InternalNode, LeafNode
+from .pagecache import PageCache
 from .pagefile import InMemoryPageFile, PageFile
-from .serializer import NodeCodec
+from .serializer import NodeCodec, pack_meta, unpack_meta
 from .stats import IOStats
 
 __all__ = ["NodeStore", "DEFAULT_BUFFER_CAPACITY"]
@@ -38,6 +37,7 @@ class NodeStore:
         pagefile: PageFile | None = None,
         buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
         stats: IOStats | None = None,
+        page_cache_capacity: int = 0,
     ) -> None:
         self.layout = layout
         self.pagefile = pagefile if pagefile is not None else InMemoryPageFile(
@@ -51,6 +51,14 @@ class NodeStore:
         self.codec = NodeCodec(layout)
         self.stats = stats if stats is not None else IOStats()
         self.buffer = BufferPool(buffer_capacity, self._write_back, stats=self.stats)
+        #: Optional raw-image cache between the buffer pool and the page
+        #: file; ``page_cache_capacity`` is in pages, 0 disables it (the
+        #: default — benchmark read counts must not change under it).
+        self.page_cache: PageCache | None = (
+            PageCache(page_cache_capacity, stats=self.stats)
+            if page_cache_capacity > 0
+            else None
+        )
 
     # ------------------------------------------------------------------
     # node construction
@@ -94,9 +102,27 @@ class NodeStore:
         the X-tree cost model.  When a trace span is active, every fetch
         is also recorded as a page event (hit or physical read) so
         EXPLAIN can attribute the query's I/O.
+
+        With a :class:`~repro.storage.pagecache.PageCache` configured,
+        a buffer-pool miss first probes the cache for the node's raw
+        image; a hit decodes it (zero-copy) without touching the page
+        file, counts **no** physical read, and is recorded on the span
+        as a hit fetch plus ``span.page_cache_hits``.
         """
         node = self.buffer.get(page_id)
         if node is None:
+            cache = self.page_cache
+            image = cache.get(page_id) if cache is not None else None
+            if image is not None:
+                node = self.codec.decode(page_id, image)
+                self.buffer.put(node, dirty=False)
+                span = trace.active
+                if span is not None:
+                    span.page(page_id, node.level, node.extent, hit=True)
+                    span.page_cache_hits += 1
+                if pin:
+                    self.buffer.pin(page_id)
+                return node
             data = self.pagefile.read(page_id)
             extent, extras = self.codec.peek_extent(data)
             if extent > 1:
@@ -108,6 +134,8 @@ class NodeStore:
             else:
                 self.stats.node_reads += extent
             self.buffer.put(node, dirty=False)
+            if cache is not None:
+                cache.put(page_id, data, extent)
             span = trace.active
             if span is not None:
                 span.page(page_id, node.level, extent, hit=False)
@@ -122,6 +150,8 @@ class NodeStore:
     def write(self, node: Node) -> None:
         """Record that ``node`` was mutated (write-back happens lazily)."""
         self.buffer.put(node, dirty=True)
+        if self.page_cache is not None:
+            self.page_cache.invalidate(node.page_id)
 
     def pin(self, page_id: int) -> None:
         """Protect a buffered page from eviction."""
@@ -138,6 +168,8 @@ class NodeStore:
         else:
             page_ids = node_or_id.all_page_ids
         self.buffer.discard(page_ids[0])
+        if self.page_cache is not None:
+            self.page_cache.invalidate(page_ids[0])
         for page_id in page_ids:
             self.pagefile.free(page_id)
 
@@ -147,13 +179,15 @@ class NodeStore:
         self.pagefile.sync()
 
     def drop_cache(self) -> None:
-        """Flush, then empty the buffer pool.
+        """Flush, then empty the buffer pool and the page cache.
 
         The benchmark harness calls this before each measured query so
         that every query starts cold and the read counter matches the
         paper's per-query disk-read metric.
         """
         self.buffer.clear()
+        if self.page_cache is not None:
+            self.page_cache.clear()
 
     def _write_back(self, node: Node) -> None:
         image = self.codec.encode(node)
@@ -174,7 +208,7 @@ class NodeStore:
 
     def write_meta(self, meta: dict) -> None:
         """Persist an index metadata dict into the reserved meta page."""
-        image = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+        image = pack_meta(meta)
         if len(image) > self.layout.page_size:
             raise StorageError("index metadata does not fit in the meta page")
         self.pagefile.write(META_PAGE_ID, image)
@@ -184,12 +218,9 @@ class NodeStore:
         """Load the index metadata dict from the reserved meta page."""
         data = self.pagefile.read(META_PAGE_ID)
         try:
-            meta = pickle.loads(data)
+            return unpack_meta(data)
         except Exception as exc:
             raise StorageError(f"meta page is corrupt: {exc}") from exc
-        if not isinstance(meta, dict):
-            raise StorageError("meta page does not hold a metadata dict")
-        return meta
 
     def close(self) -> None:
         """Flush everything and close the backing page file."""

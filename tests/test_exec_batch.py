@@ -1,0 +1,177 @@
+"""Tests for the batched execution engine (repro.exec) and serving pool.
+
+The acceptance bar: ``batch_knn`` must return *identical* neighbor sets
+(values and distances within 1e-9) to the single-query ``knn_search``
+on at least three workloads, across index families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyIndexError
+from repro.exec import ServingPool, batch_knn, batch_range
+from repro.indexes import build_index
+from repro.storage import FilePageFile
+from repro.workloads import cluster_dataset, histogram_dataset, uniform_dataset
+
+KINDS = ["srtree", "rstar", "sstree", "linear"]
+
+WORKLOADS = {
+    "uniform": uniform_dataset(300, 8, seed=11),
+    "cluster": cluster_dataset(10, 30, 8, seed=12),
+    "real": histogram_dataset(300, bins=8, seed=13),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def workload(request):
+    return request.param, WORKLOADS[request.param]
+
+
+def _queries(data: np.ndarray, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(data.shape[0], size=n // 2, replace=False)
+    jitter = data[picks] + rng.normal(scale=0.05, size=(n // 2, data.shape[1]))
+    fresh = rng.random((n - n // 2, data.shape[1]))
+    return np.vstack([jitter, fresh])
+
+
+def assert_same_neighbors(batch, single, tol=1e-9):
+    assert len(batch) == len(single)
+    for got, want in zip(batch, single):
+        assert [n.value for n in got] == [n.value for n in want]
+        for g, w in zip(got, want):
+            assert abs(g.distance - w.distance) <= tol
+
+
+class TestBatchKnnCorrectness:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_matches_single_query_search(self, kind, workload):
+        name, data = workload
+        index = build_index(kind, data)
+        queries = _queries(data, 12, seed=21)
+        batch = batch_knn(index, queries, k=10)
+        single = [index.nearest(q, k=10) for q in queries]
+        assert_same_neighbors(batch, single)
+
+    def test_small_blocks_equal_large_blocks(self, workload):
+        _name, data = workload
+        index = build_index("srtree", data)
+        queries = _queries(data, 10, seed=22)
+        a = batch_knn(index, queries, k=7, block_size=2)
+        b = batch_knn(index, queries, k=7, block_size=64)
+        assert_same_neighbors(a, b)
+
+    def test_k_larger_than_index(self, workload):
+        _name, data = workload
+        index = build_index("srtree", data[:5])
+        out = batch_knn(index, data[:3], k=10)
+        assert all(len(res) == 5 for res in out)
+
+    def test_single_query_batch(self, workload):
+        _name, data = workload
+        index = build_index("srtree", data)
+        q = data[0:1]
+        batch = batch_knn(index, q, k=5)
+        assert_same_neighbors(batch, [index.nearest(data[0], k=5)])
+
+    def test_empty_index_raises(self):
+        from repro.indexes import make_index
+
+        index = make_index("srtree", 4)
+        with pytest.raises(EmptyIndexError):
+            batch_knn(index, np.zeros((2, 4)), k=1)
+
+    def test_bad_k_rejected(self, workload):
+        _name, data = workload
+        index = build_index("srtree", data)
+        with pytest.raises(ValueError):
+            batch_knn(index, data[:2], k=0)
+
+
+class TestBatchRange:
+    @pytest.mark.parametrize("kind", ["srtree", "rstar"])
+    def test_matches_within(self, kind, workload):
+        _name, data = workload
+        index = build_index(kind, data)
+        queries = _queries(data, 8, seed=23)
+        radius = 0.4
+        batch = batch_range(index, queries, radius)
+        for got, q in zip(batch, queries):
+            want = index.within(q, radius)
+            assert [n.value for n in got] == [n.value for n in want]
+            for g, w in zip(got, want):
+                assert abs(g.distance - w.distance) <= 1e-9
+
+
+class TestNearestBatchMethod:
+    def test_index_method_delegates(self, workload):
+        _name, data = workload
+        index = build_index("srtree", data)
+        queries = _queries(data, 6, seed=24)
+        assert_same_neighbors(
+            index.nearest_batch(queries, k=5),
+            [index.nearest(q, k=5) for q in queries],
+        )
+
+
+class TestServingPool:
+    @pytest.fixture(scope="class")
+    def saved(self, tmp_path_factory):
+        data = uniform_dataset(400, 6, seed=31)
+        path = tmp_path_factory.mktemp("pool") / "tree.db"
+        index = build_index("srtree", data, pagefile=FilePageFile(path))
+        index.close()
+        return path, data
+
+    def test_parallel_matches_sequential(self, saved):
+        path, data = saved
+        queries = _queries(data, 20, seed=32)
+        from repro.indexes import open_index
+
+        index = open_index(path)
+        try:
+            want = [index.nearest(q, k=9) for q in queries]
+        finally:
+            index.store.close()
+        with ServingPool(path, workers=3) as pool:
+            got = pool.knn(queries, k=9)
+            unbatched = pool.knn(queries, k=9, batched=False)
+        assert_same_neighbors(got, want)
+        assert_same_neighbors(unbatched, want)
+
+    def test_range_matches_sequential(self, saved):
+        path, data = saved
+        queries = _queries(data, 10, seed=33)
+        from repro.indexes import open_index
+
+        index = open_index(path)
+        try:
+            want = [index.within(q, 0.5) for q in queries]
+        finally:
+            index.store.close()
+        with ServingPool(path, workers=2) as pool:
+            got = pool.range(queries, 0.5)
+        for g_list, w_list in zip(got, want):
+            assert [n.value for n in g_list] == [n.value for n in w_list]
+
+    def test_stats_aggregate_over_workers(self, saved):
+        path, data = saved
+        with ServingPool(path, workers=2) as pool:
+            pool.drop_caches()
+            before = pool.stats()
+            pool.knn(data[:8], k=5)
+            delta = pool.stats().since(before)
+        assert delta.page_reads > 0
+
+    def test_closed_pool_rejects_queries(self, saved):
+        path, data = saved
+        pool = ServingPool(path, workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.knn(data[:2], k=1)
+
+    def test_worker_count_validation(self, saved):
+        path, _data = saved
+        with pytest.raises(ValueError):
+            ServingPool(path, workers=0)

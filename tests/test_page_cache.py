@@ -1,0 +1,176 @@
+"""Tests for the raw-image page cache (repro.storage.pagecache).
+
+The page cache sits *below* the buffer pool: it holds encoded node
+images so a buffer miss can skip the physical read but still pay the
+decode.  It is off by default (``page_cache_capacity=0``) so the
+paper's disk-read benchmarks are unaffected.
+"""
+
+import numpy as np
+import pytest
+
+from repro.storage.layout import NodeLayout
+from repro.storage.pagecache import PageCache
+from repro.storage.stats import IOStats
+from repro.storage.store import NodeStore
+
+
+@pytest.fixture
+def layout() -> NodeLayout:
+    return NodeLayout(dims=4, has_rects=True, has_spheres=True, has_weights=True)
+
+
+@pytest.fixture
+def store(layout) -> NodeStore:
+    return NodeStore(layout, buffer_capacity=8, page_cache_capacity=16)
+
+
+def fill_leaf(store, n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    leaf = store.new_leaf()
+    for i in range(n):
+        leaf.add(rng.random(4), i)
+    store.write(leaf)
+    return leaf
+
+
+class TestPageCacheUnit:
+    def test_hit_miss_counters(self):
+        stats = IOStats()
+        cache = PageCache(4, stats=stats)
+        assert cache.get(1) is None
+        assert stats.page_cache_misses == 1
+        cache.put(1, b"abc", 1)
+        assert cache.get(1) == b"abc"
+        assert stats.page_cache_hits == 1
+
+    def test_lru_eviction_by_pages(self):
+        cache = PageCache(3)
+        cache.put(1, b"a", 1)
+        cache.put(2, b"b", 1)
+        cache.put(3, b"c", 1)
+        cache.get(1)               # 1 is now most recently used
+        cache.put(4, b"d", 1)      # evicts 2, the LRU entry
+        assert cache.get(2) is None
+        assert cache.get(1) == b"a"
+        assert cache.used_pages == 3
+
+    def test_extent_weighted_accounting(self):
+        cache = PageCache(4)
+        cache.put(1, b"wide", 3)   # a supernode image spanning 3 pages
+        cache.put(2, b"x", 1)
+        assert cache.used_pages == 4
+        cache.put(3, b"y", 1)      # over budget: evicts the LRU (1)
+        assert cache.get(1) is None
+        assert cache.used_pages == 2
+
+    def test_oversized_image_not_cached(self):
+        cache = PageCache(2)
+        cache.put(1, b"huge", 5)
+        assert len(cache) == 0
+        assert cache.get(1) is None
+
+    def test_invalidate_and_clear(self):
+        cache = PageCache(4)
+        cache.put(1, b"a", 1)
+        cache.put(2, b"b", 2)
+        cache.invalidate(1)
+        assert cache.get(1) is None
+        assert cache.used_pages == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_pages == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PageCache(0)
+
+
+class TestStoreIntegration:
+    def test_buffer_miss_with_image_hit_skips_physical_read(self, store):
+        leaf = fill_leaf(store)
+        store.drop_cache()
+        store.read(leaf.page_id)              # cold: physical read, cache fill
+        assert store.stats.page_reads == 1
+        store.buffer.discard(leaf.page_id)    # evict the decoded node only
+        node = store.read(leaf.page_id)       # image hit: decode, no read
+        assert node.count == 3
+        assert store.stats.page_reads == 1
+        assert store.stats.page_cache_hits == 1
+
+    def test_write_invalidates_cached_image(self, store):
+        leaf = fill_leaf(store)
+        store.drop_cache()
+        store.read(leaf.page_id)
+        assert store.page_cache.get(leaf.page_id) is not None
+        node = store.read(leaf.page_id)
+        node.add(np.full(4, 0.5), 99)
+        store.write(node)
+        # The stale image must be gone; the buffer serves the new node.
+        assert store.page_cache.get(leaf.page_id) is None
+        store.flush()
+        store.drop_cache()
+        assert store.read(leaf.page_id).count == 4
+
+    def test_free_invalidates_cached_image(self, store):
+        leaf = fill_leaf(store)
+        store.drop_cache()
+        store.read(leaf.page_id)
+        node = store.read(leaf.page_id)
+        store.free(node)
+        assert store.page_cache.get(leaf.page_id) is None
+
+    def test_drop_cache_clears_page_cache(self, store):
+        leaf = fill_leaf(store)
+        store.drop_cache()
+        store.read(leaf.page_id)
+        assert len(store.page_cache) == 1
+        store.drop_cache()
+        assert len(store.page_cache) == 0
+
+    def test_disabled_by_default(self, layout):
+        store = NodeStore(layout)
+        assert store.page_cache is None
+        leaf = fill_leaf(store)
+        store.drop_cache()
+        store.read(leaf.page_id)
+        store.buffer.discard(leaf.page_id)
+        store.read(leaf.page_id)
+        # Without the cache every buffer miss is a physical read.
+        assert store.stats.page_reads == 2
+        assert store.stats.page_cache_hits == 0
+
+    def test_hit_ratio_property(self):
+        stats = IOStats()
+        stats.page_cache_hits = 3
+        stats.page_cache_misses = 1
+        assert stats.page_cache_hit_ratio == pytest.approx(0.75)
+        assert IOStats().page_cache_hit_ratio == 0.0
+
+
+class TestExplainInvariant:
+    def test_traced_query_counts_cache_hits_as_buffer_hits(self, layout, rng):
+        """EXPLAIN's page totals must equal the IOStats.page_reads delta
+        even when the page cache serves part of the traversal."""
+        from repro.indexes import build_index
+        from repro.obs import explain, trace
+
+        data = rng.random((200, 4))
+        index = build_index("srtree", data, buffer_capacity=8,
+                            page_cache_capacity=64)
+        index.store.drop_cache()
+        # Warm the page cache, then evict the decoded nodes so the
+        # traced query's buffer misses are served by cached images.
+        index.nearest(data[0], k=5)
+        index.store.buffer.clear()
+        before = index.stats.snapshot()
+        trace.enable()
+        try:
+            with trace.span("knn", k=5) as span:
+                index.nearest(data[1], k=5)
+        finally:
+            trace.disable()
+        delta = index.stats.since(before)
+        assert span.pages_read == delta.page_reads
+        if delta.page_cache_hits:
+            assert "page-cache hits" in explain(span)

@@ -1,11 +1,15 @@
 #!/usr/bin/env python
 """Dependency-free pyflakes-level lint for the repository.
 
-Runs (a) ``compileall`` over the given trees to catch syntax errors and
+Runs (a) ``compileall`` over the given trees to catch syntax errors,
 (b) an AST pass flagging unused imports, duplicate top-level
-definitions, and ``__all__`` names that don't exist in the module.
-Falls through to the real ``pyflakes`` when it is installed (its
-diagnostics are a strict superset).
+definitions, and ``__all__`` names that don't exist in the module, and
+(c) a repository policy pass: ``pickle.loads``/``pickle.load`` may
+appear only in the storage serializer, which wraps them in
+``SerializationError`` handling — everything else must go through the
+codec.  Falls through to the real ``pyflakes`` when it is installed
+(its diagnostics are a strict superset of (b); the policy pass runs
+either way).
 
 Usage::
 
@@ -118,6 +122,56 @@ def check_file(path: str) -> list[str]:
     return problems
 
 
+#: Files allowed to call ``pickle.loads``/``pickle.load`` directly: the
+#: codec wraps them in ``SerializationError`` handling so a corrupt page
+#: surfaces as a storage error, not a raw pickle traceback.
+PICKLE_ALLOWED = (os.path.join("storage", "serializer.py"),)
+
+
+def check_pickle_usage(path: str, tree: ast.Module) -> list[str]:
+    """Flag ``pickle.loads``/``pickle.load`` outside the serializer."""
+    if path.replace(os.sep, "/").endswith(
+            tuple(p.replace(os.sep, "/") for p in PICKLE_ALLOWED)):
+        return []
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute)
+                and node.attr in ("loads", "load")
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "pickle"):
+            problems.append(
+                f"{path}:{node.lineno}: pickle.{node.attr} outside the "
+                f"storage serializer; decode pages through NodeCodec"
+            )
+        elif isinstance(node, ast.ImportFrom) and node.module == "pickle":
+            for alias in node.names:
+                if alias.name in ("loads", "load"):
+                    problems.append(
+                        f"{path}:{node.lineno}: 'from pickle import "
+                        f"{alias.name}' outside the storage serializer; "
+                        f"decode pages through NodeCodec"
+                    )
+    return problems
+
+
+def run_policy_pass(paths) -> int:
+    """Repository policy checks that run even when pyflakes is installed."""
+    problems: list[str] = []
+    for path in iter_py_files(paths):
+        with open(path, "rb") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue  # compileall/pyflakes already reported it
+        problems.extend(check_pickle_usage(path, tree))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"lint: {len(problems)} policy problem(s)", file=sys.stderr)
+    return 1 if problems else 0
+
+
 def main(argv: list[str]) -> int:
     paths = [p for p in (argv or list(DEFAULT_PATHS)) if os.path.exists(p)]
 
@@ -131,6 +185,8 @@ def main(argv: list[str]) -> int:
         print("lint: compileall failed", file=sys.stderr)
         return 1
 
+    policy_rc = run_policy_pass(paths)
+
     # Prefer the real pyflakes when present.
     try:
         import pyflakes  # noqa: F401
@@ -138,7 +194,7 @@ def main(argv: list[str]) -> int:
         result = subprocess.run(
             [sys.executable, "-m", "pyflakes", *paths], check=False
         )
-        return result.returncode
+        return result.returncode or policy_rc
     except ImportError:
         pass
 
@@ -150,6 +206,8 @@ def main(argv: list[str]) -> int:
     if problems:
         print(f"lint: {len(problems)} problem(s)", file=sys.stderr)
         return 1
+    if policy_rc:
+        return policy_rc
     print(f"lint: ok ({len(list(iter_py_files(paths)))} files)")
     return 0
 
