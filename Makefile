@@ -1,6 +1,6 @@
 # Convenience targets for development and reproduction runs.
 
-.PHONY: install lint test bench examples all
+.PHONY: install lint test test-crash bench examples all
 
 # Byte-compile everything and run the dependency-free pyflakes-level
 # checker (tools/lint.py upgrades itself to real pyflakes when
@@ -16,6 +16,13 @@ install:
 
 test:
 	pytest tests/
+
+# The durability suite on its own: checksum sweeps, WAL replay, and the
+# randomized crash harness (210 fixed-seed kill points across the three
+# paper workloads).  CI runs this as a dedicated job.
+test-crash:
+	PYTHONPATH=src python -m pytest tests/test_checksums.py tests/test_wal.py \
+	    tests/test_crash_recovery.py tests/test_cli_durability.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

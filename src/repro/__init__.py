@@ -22,13 +22,18 @@ See ``examples/`` for complete programs and ``DESIGN.md`` for the
 architecture and the per-experiment index.
 """
 
+from .api import Database
 from .exceptions import (
+    ChecksumError,
+    CrashError,
     DimensionalityError,
     EmptyIndexError,
     InvariantViolationError,
     KeyNotFoundError,
     ReproError,
     StorageError,
+    TransientIOError,
+    WALError,
     WorkloadError,
 )
 from .geometry import Rect, Sphere, SRRegion
@@ -62,6 +67,9 @@ from .workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChecksumError",
+    "CrashError",
+    "Database",
     "DimensionalityError",
     "EmptyIndexError",
     "FilePageFile",
@@ -87,7 +95,9 @@ __all__ = [
     "SpatialIndex",
     "Sphere",
     "StorageError",
+    "TransientIOError",
     "VAMSplitRTree",
+    "WALError",
     "WorkloadError",
     "__version__",
     "build_index",

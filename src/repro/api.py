@@ -1,0 +1,386 @@
+"""The unified database facade: one object, every index family.
+
+:class:`Database` wraps the storage stack (page file, optional CRC32
+checksums, optional write-ahead log) and any of the index families
+behind one context-managed surface::
+
+    import repro
+
+    with repro.Database.create("points.db", kind="sr", dims=16,
+                               durability="wal") as db:
+        db.insert([0.1] * 16, value="first")
+        for n in db.knn([0.1] * 16, k=5):
+            print(n.distance, n.value)
+
+    with repro.Database.open("points.db") as db:   # WAL recovery runs here
+        print(db.stats()["size"])
+
+``kind`` accepts both the paper's registry names (``srtree``,
+``sstree``, ``rstar``, ``rtree``, ``kdb``, ``srx``, ``vamsplit``,
+``linear``) and the short aliases ``sr``, ``ss``, ``r*``, ``r``, and
+``scan``.  ``":memory:"`` (or ``None``) builds an in-process database —
+full API, no file, no durability.
+
+Durability modes:
+
+* ``durability="none"`` (default) — the original engine: fast, pages
+  reach the file through the write-back buffer, a crash can tear a
+  multi-page insert.
+* ``durability="wal"`` — every :meth:`insert`/:meth:`delete` commits as
+  one transaction through a physical redo log; page images are sealed
+  with CRC32 trailers; :meth:`Database.open` replays whatever a crash
+  left behind.  See ``docs/DURABILITY.md``.
+
+The older entry points (``make_index``/``build_index``/``open_index``,
+direct index-class construction) keep working; ``open_index`` warns and
+forwards here.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .indexes.base import Neighbor, SpatialIndex
+from .indexes.factory import (
+    _open_index,
+    normalize_index_kwargs,
+    resolve_kind,
+)
+
+__all__ = ["Database", "KIND_ALIASES"]
+
+KIND_ALIASES: dict[str, str] = {
+    "sr": "srtree",
+    "ss": "sstree",
+    "r*": "rstar",
+    "r": "rtree",
+    "scan": "linear",
+}
+"""Short spellings accepted by :meth:`Database.create` on top of the
+registry names in :data:`repro.indexes.factory.INDEX_KINDS`."""
+
+_MEMORY = ":memory:"
+
+
+def _resolve_alias(kind: str) -> str:
+    return KIND_ALIASES.get(kind, kind)
+
+
+class Database:
+    """A context-managed spatial database over one index file.
+
+    Construct with :meth:`create` or :meth:`open`, never directly.  The
+    underlying :class:`~repro.indexes.base.SpatialIndex` stays reachable
+    through :attr:`index` for benchmark code that needs the raw engine;
+    both layers return the same :class:`~repro.indexes.base.Neighbor`
+    result objects.
+    """
+
+    def __init__(self, index: SpatialIndex, *, path: str | None,
+                 _token: object = None) -> None:
+        if _token is not _CONSTRUCT:
+            raise TypeError(
+                "use Database.create(path, ...) or Database.open(path)"
+            )
+        self._index = index
+        self._path = path
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike | None,
+        kind: str = "sr",
+        dims: int = 16,
+        *,
+        durability: str = "none",
+        checksums: bool | None = None,
+        sync_every: int = 1,
+        overwrite: bool = False,
+        fault_plan=None,
+        **index_kwargs,
+    ) -> "Database":
+        """Create a new, empty database.
+
+        Parameters
+        ----------
+        path:
+            Data file path, or ``":memory:"``/``None`` for an in-process
+            database (no durability possible).
+        kind:
+            Index family — a registry name or one of
+            :data:`KIND_ALIASES` (default ``"sr"``, the SR-tree).
+        dims:
+            Dimensionality of the points.
+        durability:
+            ``"none"`` (default) or ``"wal"``.  WAL mode implies
+            checksummed pages unless ``checksums=False`` is forced.
+        checksums:
+            Seal pages with CRC32 trailers.  Defaults to ``True`` in WAL
+            mode and ``False`` otherwise.
+        sync_every:
+            WAL fsync batching: fsync the log on every Nth commit.
+        overwrite:
+            Replace an existing file (and its WAL) instead of raising.
+        index_kwargs:
+            Uniform factory keywords — ``page_size``, ``buffer_pages``,
+            ``page_cache_bytes``, ``reinsert_fraction``, family extras —
+            validated with did-you-mean errors.
+        """
+        from .storage import DEFAULT_PAGE_SIZE, open_storage, wal_path
+        from .storage.stack import open_pagefile
+
+        if durability not in ("none", "wal"):
+            raise ValueError(
+                f"unknown durability mode {durability!r}; "
+                "expected 'none' or 'wal'"
+            )
+        in_memory = path is None or os.fspath(path) == _MEMORY
+        if in_memory and durability == "wal":
+            raise ValueError(
+                "an in-memory database cannot use durability='wal' "
+                "(there is no file to recover); give it a path"
+            )
+        if checksums is None:
+            checksums = durability == "wal"
+        index_cls = resolve_kind(_resolve_alias(kind))
+        kwargs = normalize_index_kwargs(index_cls, index_kwargs)
+        page_size = int(kwargs.get("page_size", DEFAULT_PAGE_SIZE))
+        if in_memory:
+            pagefile = open_pagefile(
+                None, page_size=page_size, checksums=checksums,
+                fault_plan=fault_plan,
+            )
+            wal = None
+            file_path: str | None = None
+        else:
+            file_path = os.fspath(path)
+            if os.path.exists(file_path):
+                if not overwrite:
+                    raise FileExistsError(
+                        f"{file_path} already exists; pass overwrite=True "
+                        "or use Database.open()"
+                    )
+                os.remove(file_path)
+                if os.path.exists(wal_path(file_path)):
+                    os.remove(wal_path(file_path))
+            pagefile, wal, _report = open_storage(
+                file_path,
+                page_size=page_size,
+                checksums=checksums,
+                durability=durability,
+                sync_every=sync_every,
+                fault_plan=fault_plan,
+            )
+        index = index_cls(dims, pagefile=pagefile, wal=wal, **kwargs)
+        index.save()
+        return cls(index, path=file_path, _token=_CONSTRUCT)
+
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike,
+        *,
+        durability: str | None = None,
+        sync_every: int = 1,
+        buffer_pages: int | None = None,
+        page_cache_bytes: int = 0,
+        fault_plan=None,
+    ) -> "Database":
+        """Open an existing database, running WAL recovery first.
+
+        The file's own meta page supplies the index kind, geometry, and
+        (unless ``durability`` overrides it) the durability mode it was
+        created with.
+        """
+        from .storage import DEFAULT_PAGE_SIZE, load_meta_prefix
+
+        file_path = os.fspath(path)
+        page_cache_capacity = 0
+        if page_cache_bytes:
+            geometry, prefix_meta = load_meta_prefix(file_path)
+            if geometry is not None and geometry["page_size"]:
+                page_size = geometry["page_size"]
+            else:
+                page_size = (prefix_meta or {}).get(
+                    "page_size", DEFAULT_PAGE_SIZE
+                )
+            page_cache_capacity = max(0, int(page_cache_bytes) // page_size)
+        index = _open_index(
+            file_path,
+            buffer_pages,
+            page_cache_capacity,
+            durability=durability,
+            sync_every=sync_every,
+            fault_plan=fault_plan,
+        )
+        return cls(index, path=file_path, _token=_CONSTRUCT)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self) -> SpatialIndex:
+        """The underlying index engine (for benchmark/diagnostic code)."""
+        return self._index
+
+    @property
+    def path(self) -> str | None:
+        """Backing file path, or ``None`` for an in-memory database."""
+        return self._path
+
+    @property
+    def kind(self) -> str:
+        """Registry name of the index family (e.g. ``"srtree"``)."""
+        return self._index.NAME
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the stored points."""
+        return self._index.dims
+
+    @property
+    def size(self) -> int:
+        """Number of stored points."""
+        return self._index.size
+
+    def __len__(self) -> int:
+        return self._index.size
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
+        return self._index.closed
+
+    @property
+    def durability(self) -> str:
+        """The active durability mode: ``"wal"`` or ``"none"``."""
+        return "wal" if self._index.store.wal is not None else "none"
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, point, value: object = None) -> None:
+        """Insert one point with an optional payload.
+
+        With ``durability="wal"`` the insertion commits atomically; see
+        :meth:`~repro.indexes.base.SpatialIndex.insert`.
+        """
+        self._index.insert(point, value)
+
+    def insert_many(self, points, values=None) -> None:
+        """Insert many points (payloads default to row indices)."""
+        self._index.load(points, values)
+
+    def delete(self, point, value: object = ...) -> None:
+        """Remove one stored copy of ``point`` (families that support it)."""
+        self._index.delete(point, value)
+
+    # ------------------------------------------------------------------
+    # queries — uniform across every family
+    # ------------------------------------------------------------------
+
+    def knn(self, point, k: int = 1, **kwargs) -> list[Neighbor]:
+        """The ``k`` nearest stored points, closest first."""
+        return self._index.nearest(point, k=k, **kwargs)
+
+    def knn_batch(self, points, k: int = 1) -> list[list[Neighbor]]:
+        """The ``k`` nearest neighbors of each query point, batched.
+
+        Same :class:`~repro.indexes.base.Neighbor` results as
+        :meth:`knn`, amortized over the whole query block.
+        """
+        return self._index.nearest_batch(points, k=k)
+
+    def range(self, point, radius: float) -> list[Neighbor]:
+        """All stored points within ``radius`` of ``point``, closest first."""
+        return self._index.within(point, radius)
+
+    def window(self, low, high) -> list[Neighbor]:
+        """All stored points inside the axis-aligned box ``[low, high]``."""
+        return self._index.window(low, high)
+
+    def lookup(self, point) -> list[object]:
+        """Exact-match point query: every payload stored at ``point``."""
+        return self._index.lookup(point)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A snapshot of the database: identity, shape, and I/O counters."""
+        index = self._index
+        io = index.stats
+        return {
+            "kind": index.NAME,
+            "path": self._path,
+            "dims": index.dims,
+            "size": index.size,
+            "height": index.height,
+            "durability": self.durability,
+            "checksums": index.store.has_checksums,
+            "page_size": index.layout.page_size,
+            "leaf_capacity": index.leaf_capacity,
+            "node_capacity": index.node_capacity,
+            "page_reads": io.page_reads,
+            "page_writes": io.page_writes,
+            "distance_computations": io.distance_computations,
+            "buffer_hit_ratio": io.hit_ratio,
+        }
+
+    def explain(self, point, k: int = 1) -> str:
+        """Run one k-NN query under the tracer and render its EXPLAIN.
+
+        The report's page counts equal the ``IOStats.page_reads`` delta
+        of the same query — the invariant ``tests/test_api_facade.py``
+        asserts under every durability mode.
+        """
+        from .obs import explain as render_explain
+        from .obs import trace
+
+        was_enabled = trace.enabled
+        trace.enable()
+        try:
+            with trace.span("knn", k=k) as span:
+                self._index.nearest(point, k=k)
+            return render_explain(span)
+        finally:
+            if not was_enabled:
+                trace.disable()
+
+    def verify(self) -> None:
+        """Run the family's structural invariant checks (raises on damage)."""
+        self._index.check_invariants()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist metadata and every dirty page without closing."""
+        self._index.save()
+
+    def close(self) -> None:
+        """Save and close the database (idempotent)."""
+        self._index.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        status = "closed" if self.closed else f"{self.size} points"
+        where = self._path or _MEMORY
+        return (f"Database(kind={self.kind!r}, dims={self.dims}, "
+                f"path={where!r}, durability={self.durability!r}, {status})")
+
+
+_CONSTRUCT = object()

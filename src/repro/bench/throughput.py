@@ -94,9 +94,9 @@ def _result(mode, queries, k, wall, samples_ms, stats_delta, workers=1):
 
 
 def _run_single(path, queries, k, buffer_capacity, page_cache_capacity):
-    from ..indexes.factory import open_index
+    from ..indexes.factory import _open_index
 
-    index = open_index(path, buffer_capacity, page_cache_capacity)
+    index = _open_index(path, buffer_capacity, page_cache_capacity)
     try:
         index.store.drop_cache()
         before = index.stats.snapshot()
@@ -116,9 +116,9 @@ def _run_single(path, queries, k, buffer_capacity, page_cache_capacity):
 def _run_batched(path, queries, k, block_size, buffer_capacity,
                  page_cache_capacity):
     from ..exec import batch_knn
-    from ..indexes.factory import open_index
+    from ..indexes.factory import _open_index
 
-    index = open_index(path, buffer_capacity, page_cache_capacity)
+    index = _open_index(path, buffer_capacity, page_cache_capacity)
     try:
         index.store.drop_cache()
         before = index.stats.snapshot()

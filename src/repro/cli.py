@@ -9,6 +9,14 @@ Usage (also via ``python -m repro``)::
     # Build a durable on-disk index over it.
     python -m repro build --kind srtree --data data.npy --out images.srtree
 
+    # Crash-safe build: WAL-journaled inserts over checksummed pages.
+    python -m repro build --kind srtree --data data.npy --out images.srtree \\
+        --durability wal
+
+    # After a crash: replay the write-ahead log, then check integrity.
+    python -m repro recover --index images.srtree
+    python -m repro verify --index images.srtree
+
     # Inspect its structure.
     python -m repro info --index images.srtree
 
@@ -36,13 +44,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
 import numpy as np
 
 from .analysis import describe
-from .indexes import INDEX_KINDS, build_index, open_index
+from .indexes import INDEX_KINDS, build_index
+from .indexes.factory import _open_index
 from .obs import REGISTRY, explain, render, trace
 from .workloads import cluster_dataset, histogram_dataset, uniform_dataset
 
@@ -88,6 +98,12 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--data", required=True, help="(N, D) .npy of points")
     build.add_argument("--out", required=True, help="output index file")
     build.add_argument("--page-size", type=int, default=8192)
+    build.add_argument("--durability", choices=("none", "wal"), default="none",
+                       help="'wal' commits every insert through a "
+                            "write-ahead log (implies --checksums)")
+    build.add_argument("--checksums", action="store_true",
+                       help="seal pages with CRC32 trailers "
+                            "(implied by --durability wal)")
     build.set_defaults(handler=_cmd_build)
 
     info = sub.add_parser("info", help="describe a saved index")
@@ -152,6 +168,30 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="output JSON path (default BENCH_throughput.json)")
     bench.set_defaults(handler=_cmd_bench_throughput)
 
+    recover = sub.add_parser(
+        "recover",
+        help="replay a crashed index's write-ahead log",
+        description="Runs WAL recovery against an index file: committed "
+                    "transactions left in <index>.wal are replayed into "
+                    "the data file, torn tails are discarded, and the "
+                    "log is truncated.  Safe to run on a clean file "
+                    "(reports nothing to do).",
+    )
+    recover.add_argument("--index", required=True, help="index data file")
+    recover.set_defaults(handler=_cmd_recover)
+
+    verify = sub.add_parser(
+        "verify",
+        help="check an index's structural and checksum integrity",
+        description="Opens a saved index (running WAL recovery first), "
+                    "reads every stored point (which verifies the CRC32 "
+                    "trailer of each page on checksummed files), and "
+                    "runs the family's structural invariant checks.  "
+                    "Exits 1 on damage.",
+    )
+    verify.add_argument("--index", required=True, help="index data file")
+    verify.set_defaults(handler=_cmd_verify)
+
     return parser
 
 
@@ -171,25 +211,36 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_build(args) -> int:
-    from .storage import FilePageFile
+    from .storage import open_storage
 
     data = np.load(args.data)
     if data.ndim != 2:
         raise ValueError(f"{args.data} does not hold an (N, D) point array")
-    start = time.perf_counter()
-    index = build_index(
-        args.kind, data,
-        pagefile=FilePageFile(args.out, page_size=args.page_size),
+    checksums = args.checksums or args.durability == "wal"
+    pagefile, wal, _report = open_storage(
+        args.out,
+        page_size=args.page_size,
+        checksums=checksums,
+        durability=args.durability,
     )
+    start = time.perf_counter()
+    index = build_index(args.kind, data, pagefile=pagefile, wal=wal,
+                        page_size=args.page_size)
     elapsed = time.perf_counter() - start
     index.close()
+    extras = []
+    if checksums:
+        extras.append("checksummed")
+    if args.durability == "wal":
+        extras.append("WAL")
+    suffix = f" ({', '.join(extras)})" if extras else ""
     print(f"built {args.kind} over {data.shape[0]} x {data.shape[1]} points "
-          f"in {elapsed:.2f}s -> {args.out}")
+          f"in {elapsed:.2f}s -> {args.out}{suffix}")
     return 0
 
 
 def _cmd_info(args) -> int:
-    index = open_index(args.index)
+    index = _open_index(args.index)
     try:
         print(describe(index))
     finally:
@@ -198,7 +249,7 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    index = open_index(args.index)
+    index = _open_index(args.index)
     try:
         if args.point is not None:
             point = np.array([float(x) for x in args.point.split(",")])
@@ -234,7 +285,7 @@ def _cmd_query(args) -> int:
 
 def _cmd_stats(args) -> int:
     if args.index:
-        index = open_index(args.index)
+        index = _open_index(args.index)
         try:
             _exercise_index(index, queries=args.queries, k=args.k,
                             seed=args.seed)
@@ -270,7 +321,7 @@ def _cmd_bench_throughput(args) -> int:
     from .bench.throughput import run_throughput, sample_queries, write_json
 
     modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
-    index = open_index(args.index)
+    index = _open_index(args.index)
     try:
         k = min(args.k, index.size)
         queries = sample_queries(index, args.queries, seed=args.seed)
@@ -301,6 +352,55 @@ def _cmd_bench_throughput(args) -> int:
     for name, ratio in doc["speedups"].items():
         print(f"speedup {name}: {ratio:.2f}x")
     print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from .storage import load_meta_prefix, open_storage, wal_path
+
+    if not os.path.exists(args.index):
+        raise FileNotFoundError(args.index)
+    geometry, prefix_meta = load_meta_prefix(args.index)
+    if geometry is not None:
+        page_size = geometry["page_size"] or 8192
+        checksums = geometry["checksums"]
+    else:
+        page_size = (prefix_meta or {}).get("page_size", 8192)
+        checksums = False
+    log = wal_path(args.index)
+    had_log = os.path.exists(log) and os.path.getsize(log) > 0
+    pagefile, _wal, report = open_storage(
+        args.index,
+        page_size=page_size,
+        checksums=checksums,
+        durability="none",
+        create=False,
+    )
+    pagefile.close()
+    if had_log:
+        print(report)
+    else:
+        print(f"{args.index}: no write-ahead log to replay (clean shutdown)")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from .exceptions import ReproError
+
+    index = _open_index(args.index)
+    try:
+        points = 0
+        for _point, _value in index.iter_points():
+            points += 1
+        index.check_invariants()
+    except ReproError as exc:
+        print(f"{args.index}: FAILED -- {exc}", file=sys.stderr)
+        return 1
+    finally:
+        index.store.close()
+    sealed = "checksummed pages, " if index.store.has_checksums else ""
+    print(f"{args.index}: OK ({sealed}{points} points, "
+          f"height {index.height}, invariants hold)")
     return 0
 
 

@@ -40,6 +40,45 @@ class SerializationError(StorageError, ValueError):
     """A page image could not be decoded into a node."""
 
 
+class ChecksumError(StorageError):
+    """A page image failed its CRC32 verification on read.
+
+    Raised by :class:`~repro.storage.checksums.ChecksumPageFile` when a
+    stored page is torn (a crash interrupted the write) or corrupt (bit
+    rot, a bad sector).  Recovery (:func:`repro.storage.wal.recover`)
+    repairs any page covered by a committed WAL record; a checksum error
+    that survives recovery is genuine data loss.
+    """
+
+    def __init__(self, page_id: int, detail: str = "checksum mismatch") -> None:
+        super().__init__(f"page {page_id}: {detail}")
+        self.page_id = page_id
+
+
+class WALError(StorageError):
+    """The write-ahead log is unusable (bad magic, impossible record)."""
+
+
+class TransientIOError(StorageError, OSError):
+    """A read failed in a way that is worth retrying (EIO, timeout).
+
+    Emitted by the fault-injection harness and honored by
+    :class:`~repro.exec.parallel.ServingPool`, which retries reads with
+    backoff before degrading the affected queries.
+    """
+
+
+class CrashError(StorageError, OSError):
+    """The simulated process death of the fault-injection harness.
+
+    Raised by :class:`~repro.storage.faults.FaultInjectingPageFile` (and
+    the WAL, when it shares the same :class:`~repro.storage.faults.FaultPlan`)
+    once the planned write budget is exhausted: the write that hit the
+    budget may be torn, and every subsequent I/O fails.  Test harnesses
+    catch it, abandon the handle, and re-open from disk.
+    """
+
+
 class IndexError_(ReproError):
     """Base class for index-structure level failures.
 

@@ -19,6 +19,21 @@ batched engine (:func:`repro.exec.batch.batch_knn`) over its shard, or
 the single-query search when ``batched=False`` (the baseline mode the
 throughput benchmark compares against).
 
+**Fault handling.**  Serving must stay up when a disk misbehaves, so
+each shard runs under a small resilience policy:
+
+* reads that raise :class:`~repro.exceptions.TransientIOError` are
+  retried ``read_retries`` times with exponential backoff (the
+  fault-injection harness models flaky sectors this way);
+* a per-*call* ``timeout`` (seconds) bounds how long :meth:`knn` /
+  :meth:`range` wait for any shard;
+* a shard that still fails (exhausted retries, timeout, or a crashed /
+  corrupt backend) **degrades** instead of failing the whole call: its
+  queries come back as empty lists, the loss is counted by the
+  ``repro_degraded_queries_total{reason=...}`` metric, and callers that
+  pass ``with_flags=True`` receive a per-query completeness mask.
+  Programming errors (bad arguments, etc.) still raise.
+
 **Observability caveat.**  The query tracer (:mod:`repro.obs.tracer`)
 is deliberately single-threaded; do not enable tracing around pool
 calls.  Metric counters are process-global and remain *cumulatively*
@@ -28,12 +43,16 @@ correct, but per-operation histograms interleave across workers.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 
+from ..exceptions import StorageError, TransientIOError
 from ..geometry import as_points
 from ..indexes.base import Neighbor
+from ..obs.hooks import on_degraded
 from ..storage.stats import IOStats
 
 __all__ = ["ServingPool"]
@@ -52,6 +71,17 @@ class ServingPool:
         Per-worker buffer pool frames (``None`` = store default).
     page_cache_capacity:
         Per-worker raw-image page cache, in pages (0 = off).
+    timeout:
+        Per-call deadline in seconds shared by all shards of one
+        :meth:`knn`/:meth:`range` call; ``None`` (default) waits
+        forever.  A shard that misses the deadline degrades (empty
+        results for its queries) — the worker thread itself cannot be
+        interrupted and finishes in the background.
+    read_retries:
+        How many times a shard is retried after a
+        :class:`~repro.exceptions.TransientIOError` (default 2).
+    retry_backoff:
+        Base sleep between retries, doubled each attempt (seconds).
     """
 
     def __init__(
@@ -61,15 +91,26 @@ class ServingPool:
         workers: int | None = None,
         buffer_capacity: int | None = None,
         page_cache_capacity: int = 0,
+        timeout: float | None = None,
+        read_retries: int = 2,
+        retry_backoff: float = 0.01,
     ) -> None:
-        from ..indexes.factory import open_index
+        from ..indexes.factory import _open_index
 
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if read_retries < 0:
+            raise ValueError(f"read_retries must be >= 0, got {read_retries}")
+        self._timeout = timeout
+        self._read_retries = read_retries
+        self._retry_backoff = retry_backoff
+        self._degraded_queries = 0
         self._indexes = [
-            open_index(path, buffer_capacity, page_cache_capacity)
+            _open_index(path, buffer_capacity, page_cache_capacity)
             for _ in range(workers)
         ]
         self._executor = ThreadPoolExecutor(
@@ -89,13 +130,22 @@ class ServingPool:
         """Dimensionality of the served index."""
         return self._indexes[0].dims
 
+    @property
+    def degraded_queries(self) -> int:
+        """Queries answered with empty (degraded) results so far."""
+        return self._degraded_queries
+
     def knn(self, queries, k: int = 1, *, batched: bool = True,
-            block_size: int | None = None) -> list[list[Neighbor]]:
+            block_size: int | None = None, with_flags: bool = False):
         """The ``k`` nearest neighbors of every query, in input order.
 
         ``batched=True`` (default) runs the block engine per shard;
         ``batched=False`` loops ``index.nearest`` per query — same
         results, used as the throughput baseline.
+
+        With ``with_flags=True``, returns ``(results, complete)`` where
+        ``complete[i]`` is ``False`` for queries whose shard degraded
+        (timeout or exhausted I/O retries; their results are ``[]``).
         """
         from .batch import DEFAULT_BLOCK_SIZE, batch_knn
 
@@ -109,10 +159,13 @@ class ServingPool:
                 return batch_knn(index, shard, k, block_size=block_size)
             return [index.nearest(point, k=k) for point in shard]
 
-        return self._scatter(queries, run)
+        return self._scatter(queries, run, with_flags=with_flags)
 
-    def range(self, queries, radius: float) -> list[list[Neighbor]]:
-        """All stored points within ``radius`` of every query, in input order."""
+    def range(self, queries, radius: float, *, with_flags: bool = False):
+        """All stored points within ``radius`` of every query, in input order.
+
+        ``with_flags`` behaves as in :meth:`knn`.
+        """
         from .batch import batch_range
 
         queries = as_points(queries, self.dims)
@@ -120,9 +173,21 @@ class ServingPool:
         def run(worker: int, shard: np.ndarray) -> list[list[Neighbor]]:
             return batch_range(self._indexes[worker], shard, radius)
 
-        return self._scatter(queries, run)
+        return self._scatter(queries, run, with_flags=with_flags)
 
-    def _scatter(self, queries: np.ndarray, run) -> list[list[Neighbor]]:
+    def _run_with_retries(self, run, worker: int, shard: np.ndarray):
+        """Invoke one shard, retrying transient I/O faults with backoff."""
+        attempts = self._read_retries + 1
+        for attempt in range(attempts):
+            try:
+                return run(worker, shard)
+            except TransientIOError:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(self._retry_backoff * (2 ** attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _scatter(self, queries: np.ndarray, run, *, with_flags: bool = False):
         if self._closed:
             raise RuntimeError("serving pool is closed")
         n = queries.shape[0]
@@ -132,13 +197,43 @@ class ServingPool:
             if shard.size == 0:
                 continue
             futures.append(
-                (shard, self._executor.submit(run, worker, queries[shard]))
+                (shard,
+                 self._executor.submit(
+                     self._run_with_retries, run, worker, queries[shard]
+                 ))
             )
+        deadline = (None if self._timeout is None
+                    else time.monotonic() + self._timeout)
         results: list[list[Neighbor] | None] = [None] * n
+        complete = [True] * n
         for shard, future in futures:
-            out = future.result()
+            reason = None
+            try:
+                if deadline is None:
+                    out = future.result()
+                else:
+                    remaining = max(0.0, deadline - time.monotonic())
+                    out = future.result(timeout=remaining)
+            except FutureTimeoutError:
+                future.cancel()
+                reason = "timeout"
+            except TransientIOError:
+                reason = "io_error"
+            except StorageError:
+                # Crashed / corrupt backend (CrashError, ChecksumError,
+                # ...): degrade this shard, keep serving the others.
+                reason = "storage_error"
+            if reason is not None:
+                on_degraded(reason, int(shard.size))
+                self._degraded_queries += int(shard.size)
+                for qi in shard:
+                    results[qi] = []
+                    complete[qi] = False
+                continue
             for pos, qi in enumerate(shard):
                 results[qi] = out[pos]
+        if with_flags:
+            return results, complete
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -166,7 +261,12 @@ class ServingPool:
         self._closed = True
         self._executor.shutdown(wait=True)
         for index in self._indexes:
-            index.store.close()
+            try:
+                index.store.close()
+            except StorageError:
+                # A worker whose backend already died (fault injection,
+                # torn disk) must not block shutdown of the others.
+                pass
 
     def __enter__(self) -> "ServingPool":
         return self

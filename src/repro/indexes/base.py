@@ -28,6 +28,7 @@ from ..storage import (
     NodeLayout,
     NodeStore,
     PageFile,
+    WriteAheadLog,
 )
 
 __all__ = ["Neighbor", "Entry", "SpatialIndex"]
@@ -124,6 +125,7 @@ class SpatialIndex(ABC):
         reinsert_fraction: float = 0.3,
         stats: IOStats | None = None,
         page_cache_capacity: int = 0,
+        wal: WriteAheadLog | None = None,
     ) -> None:
         self._layout = NodeLayout(
             dims=dims,
@@ -135,7 +137,7 @@ class SpatialIndex(ABC):
         )
         self._store = NodeStore(
             self._layout, pagefile, buffer_capacity, stats,
-            page_cache_capacity=page_cache_capacity,
+            page_cache_capacity=page_cache_capacity, wal=wal,
         )
         self._config = _IndexConfig(
             page_size=page_size,
@@ -218,9 +220,77 @@ class SpatialIndex(ABC):
     # abstract construction / search hooks
     # ------------------------------------------------------------------
 
-    @abstractmethod
     def insert(self, point, value: object = None) -> None:
-        """Insert a point with an optional payload."""
+        """Insert a point with an optional payload.
+
+        When the store carries a write-ahead log, the whole insertion —
+        every page it touches plus the updated metadata — commits as one
+        transaction: a crash at any moment leaves the index at either
+        the previous or the new state, never in between.  Without a WAL
+        the mutation is applied directly (the original, faster path).
+        """
+        self._durably(lambda: self._insert_point(point, value))
+
+    @abstractmethod
+    def _insert_point(self, point, value: object = None) -> None:
+        """Family-specific insertion (runs inside the durability wrapper)."""
+
+    def delete(self, point, value: object = ...) -> None:
+        """Remove one stored copy of ``point`` (families that support it).
+
+        When ``value`` is given, only an entry carrying an equal payload
+        matches.  Raises :class:`~repro.exceptions.KeyNotFoundError`
+        when no matching entry exists, and ``NotImplementedError`` on
+        static or append-only families.  Runs inside the same WAL
+        transaction wrapper as :meth:`insert`.
+        """
+        self._durably(lambda: self._delete_point(point, value))
+
+    def _delete_point(self, point, value: object = ...) -> None:
+        """Family-specific deletion (runs inside the durability wrapper)."""
+        raise NotImplementedError(
+            f"the {self.NAME} index does not support deletion"
+        )
+
+    # -- the durability wrapper ----------------------------------------
+
+    def _durably(self, mutate) -> None:
+        """Run one mutation, transactionally when a WAL is attached.
+
+        With a WAL: begin, mutate, journal the refreshed metadata,
+        commit (flushing every dirty page into the log first), and only
+        then let the images reach the data file.  On *any* failure the
+        transaction is rolled back entirely in memory — dirty buffers
+        dropped, shadowed pages discarded, the index counters restored
+        from a pre-mutation snapshot — so a rejected insert (say, a
+        :class:`~repro.exceptions.DimensionalityError`) leaves the index
+        exactly as it was.
+        """
+        store = self._store
+        if store.wal is None:
+            mutate()
+            return
+        snapshot = self._mutation_snapshot()
+        store.begin_txn()
+        try:
+            mutate()
+            store.write_meta(self._meta_dict())
+            store.commit_txn()
+        except BaseException:
+            try:
+                store.abort_txn()
+            except Exception:
+                pass  # never mask the original failure
+            self._restore_mutation_snapshot(snapshot)
+            raise
+
+    def _mutation_snapshot(self):
+        """Index-level counters to restore if a transaction aborts."""
+        return (self._root_id, self._height, self._size)
+
+    def _restore_mutation_snapshot(self, snapshot) -> None:
+        """Undo counter changes made by an aborted mutation."""
+        self._root_id, self._height, self._size = snapshot
 
     def load(self, points, values=None) -> None:
         """Insert many points one by one (values default to row indices)."""
@@ -392,8 +462,8 @@ class SpatialIndex(ABC):
     # persistence
     # ------------------------------------------------------------------
 
-    def save(self) -> None:
-        """Flush all pages and persist index metadata to the meta page."""
+    def _meta_dict(self) -> dict:
+        """The metadata dict persisted into the meta page."""
         meta = {
             "index": type(self).NAME,
             "class": f"{type(self).__module__}.{type(self).__qualname__}",
@@ -405,9 +475,15 @@ class SpatialIndex(ABC):
             "root_id": self._root_id,
             "height": self._height,
             "size": self._size,
+            "checksums": self._store.has_checksums,
+            "durability": "wal" if self._store.wal is not None else "none",
         }
         meta.update(self._extra_meta())
-        self._store.write_meta(meta)
+        return meta
+
+    def save(self) -> None:
+        """Flush all pages and persist index metadata to the meta page."""
+        self._store.write_meta(self._meta_dict())
         self._store.flush()
         on_flush(self)
 
@@ -421,13 +497,16 @@ class SpatialIndex(ABC):
     @classmethod
     def open(cls, pagefile: PageFile,
              buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
-             page_cache_capacity: int = 0) -> "SpatialIndex":
+             page_cache_capacity: int = 0,
+             wal: WriteAheadLog | None = None) -> "SpatialIndex":
         """Re-open an index previously written with :meth:`save`.
 
         The page file's meta page supplies every construction parameter;
         the class must match the one that wrote the file.
         ``page_cache_capacity`` (pages, 0 = off) sizes the optional
-        raw-image cache between the buffer pool and the page file.
+        raw-image cache between the buffer pool and the page file, and
+        ``wal`` attaches an (already recovered) write-ahead log so
+        subsequent mutations are transactional.
         """
         probe_layout = NodeLayout(
             dims=1,
@@ -443,18 +522,32 @@ class SpatialIndex(ABC):
             )
         index = cls.__new__(cls)
         _restore(index, cls, pagefile, buffer_capacity, meta,
-                 page_cache_capacity=page_cache_capacity)
+                 page_cache_capacity=page_cache_capacity, wal=wal)
         index._restore_extra(meta)
         return index
 
     def close(self) -> None:
-        """Save and close the backing page file."""
+        """Save and close the backing page file (idempotent)."""
+        if self._store.closed:
+            return
         self.save()
         self._store.close()
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
+        return self._store.closed
+
+    def __enter__(self) -> "SpatialIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 def _restore(index: SpatialIndex, cls, pagefile, buffer_capacity, meta,
-             page_cache_capacity: int = 0) -> None:
+             page_cache_capacity: int = 0,
+             wal: WriteAheadLog | None = None) -> None:
     """Rebuild a live index object around an existing page file."""
     index._layout = NodeLayout(
         dims=meta["dims"],
@@ -465,7 +558,7 @@ def _restore(index: SpatialIndex, cls, pagefile, buffer_capacity, meta,
         leaf_data_size=meta["leaf_data_size"],
     )
     index._store = NodeStore(index._layout, pagefile, buffer_capacity,
-                             page_cache_capacity=page_cache_capacity)
+                             page_cache_capacity=page_cache_capacity, wal=wal)
     index._config = _IndexConfig(
         page_size=meta["page_size"],
         leaf_data_size=meta["leaf_data_size"],

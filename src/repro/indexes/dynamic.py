@@ -79,11 +79,13 @@ class DynamicTree(SpatialIndex):
     # public mutation API
     # ------------------------------------------------------------------
 
-    def insert(self, point, value: object = None) -> None:
+    def _insert_point(self, point, value: object = None) -> None:
         """Insert a point with an optional payload (any picklable object).
 
         The payload must pickle into the leaf data area (512 bytes by
         default); record ids or short strings are the intended use.
+        Called by :meth:`~repro.indexes.base.SpatialIndex.insert`, which
+        supplies WAL transactionality when the store is durable.
         """
         point = as_point(point, self.dims)
         self._reinserted_levels: set[int] = set()
@@ -102,7 +104,7 @@ class DynamicTree(SpatialIndex):
 
         bulk_load(self, points, values)
 
-    def delete(self, point, value: object = ...) -> None:
+    def _delete_point(self, point, value: object = ...) -> None:
         """Remove one stored copy of ``point``.
 
         When ``value`` is given, only an entry carrying an equal payload

@@ -3,11 +3,25 @@
 Maps the short names the paper uses in its figures to the index
 classes, and provides a uniform "build an index over this data set"
 entry point that hides the static/dynamic construction difference.
+
+Keyword arguments are *uniform* across the families: every factory call
+accepts the canonical spellings ``page_size``, ``buffer_pages``,
+``page_cache_bytes``, and ``reinsert_fraction`` (plus the historical
+``buffer_capacity``/``page_cache_capacity`` frame-count forms), and an
+unknown keyword is rejected with a did-you-mean error instead of the
+bare ``TypeError`` a blind ``**kwargs`` pass-through used to produce.
+
+:func:`open_index` is kept for backward compatibility but deprecated —
+new code should use :class:`repro.api.Database`, which adds checksums,
+WAL recovery, and a uniform query surface on top of the same machinery.
 """
 
 from __future__ import annotations
 
+import difflib
+import inspect
 import time
+import warnings
 
 import numpy as np
 
@@ -37,20 +51,86 @@ INDEX_KINDS: dict[str, type[SpatialIndex]] = {
 """Registry of every index family, keyed by its short name."""
 
 
+def resolve_kind(kind: str) -> type[SpatialIndex]:
+    """The index class for a registry name, with a did-you-mean error."""
+    try:
+        return INDEX_KINDS[kind]
+    except KeyError:
+        hint = difflib.get_close_matches(str(kind), INDEX_KINDS, n=1)
+        suggestion = f" (did you mean {hint[0]!r}?)" if hint else ""
+        raise ValueError(
+            f"unknown index kind {kind!r}{suggestion}; "
+            f"choose from {sorted(INDEX_KINDS)}"
+        ) from None
+
+
+def _allowed_kwargs(cls: type[SpatialIndex]) -> set[str]:
+    """Constructor keywords ``cls`` accepts (its own plus the base's)."""
+    names: set[str] = set()
+    for owner in (cls, SpatialIndex):
+        for name, param in inspect.signature(owner.__init__).parameters.items():
+            if name in ("self", "dims") or param.kind in (
+                inspect.Parameter.VAR_KEYWORD,
+                inspect.Parameter.VAR_POSITIONAL,
+            ):
+                continue
+            names.add(name)
+    return names
+
+
+def normalize_index_kwargs(cls: type[SpatialIndex], kwargs: dict) -> dict:
+    """Translate canonical factory keywords and reject unknown ones.
+
+    * ``buffer_pages`` (canonical) ⇄ ``buffer_capacity`` (legacy alias,
+      both are frame counts; passing both is an error);
+    * ``page_cache_bytes`` (canonical) is converted to the page-count
+      ``page_cache_capacity`` using the index's page size;
+    * anything the constructor does not accept raises ``ValueError``
+      with a close-match suggestion.
+    """
+    out = dict(kwargs)
+    if "buffer_pages" in out:
+        if "buffer_capacity" in out:
+            raise ValueError(
+                "pass either buffer_pages or buffer_capacity, not both "
+                "(they are the same knob; buffer_pages is canonical)"
+            )
+        out["buffer_capacity"] = out.pop("buffer_pages")
+    if "page_cache_bytes" in out:
+        if "page_cache_capacity" in out:
+            raise ValueError(
+                "pass either page_cache_bytes or page_cache_capacity, not "
+                "both (page_cache_bytes is canonical)"
+            )
+        from ..storage import DEFAULT_PAGE_SIZE
+
+        page_size = int(out.get("page_size", DEFAULT_PAGE_SIZE))
+        out["page_cache_capacity"] = max(
+            0, int(out.pop("page_cache_bytes")) // page_size
+        )
+    allowed = _allowed_kwargs(cls)
+    aliases = {"buffer_pages", "page_cache_bytes"}
+    for name in out:
+        if name not in allowed:
+            hint = difflib.get_close_matches(name, allowed | aliases, n=1)
+            suggestion = f"; did you mean {hint[0]!r}?" if hint else ""
+            raise ValueError(
+                f"{cls.__name__} got an unknown keyword {name!r}{suggestion} "
+                f"(accepted: {sorted(allowed | aliases)})"
+            )
+    return out
+
+
 def make_index(kind: str, dims: int, **kwargs) -> SpatialIndex:
     """Instantiate an empty index of the given kind.
 
     ``kind`` is one of ``rstar``, ``sstree``, ``srtree``, ``kdb``,
     ``vamsplit``, or ``linear``; remaining keyword arguments are passed
-    to the index constructor (page size, buffer capacity, ...).
+    to the index constructor (page size, buffer pages, ...) after the
+    canonical-name translation of :func:`normalize_index_kwargs`.
     """
-    try:
-        cls = INDEX_KINDS[kind]
-    except KeyError:
-        raise ValueError(
-            f"unknown index kind {kind!r}; choose from {sorted(INDEX_KINDS)}"
-        ) from None
-    return cls(dims, **kwargs)
+    cls = resolve_kind(kind)
+    return cls(dims, **normalize_index_kwargs(cls, kwargs))
 
 
 def build_index(kind: str, points, values=None, **kwargs) -> SpatialIndex:
@@ -72,30 +152,78 @@ def build_index(kind: str, points, values=None, **kwargs) -> SpatialIndex:
     return index
 
 
-def open_index(path, buffer_capacity: int | None = None,
-               page_cache_capacity: int = 0) -> SpatialIndex:
-    """Re-open a saved index from a page file on disk.
+def _open_index(path, buffer_capacity: int | None = None,
+                page_cache_capacity: int = 0, *,
+                durability: str | None = None,
+                sync_every: int = 1,
+                fault_plan=None) -> SpatialIndex:
+    """Re-open a saved index from a page file on disk (internal).
 
-    The index kind is read from the file's meta page, so callers do not
-    need to know which class wrote it.  ``page_cache_capacity`` (pages,
-    0 = off) enables the raw-image cache below the buffer pool.
+    The raw file prefix supplies the geometry (page size, checksum
+    mode); any write-ahead log left by a previous process is recovered
+    *before* the meta page is trusted; then the meta page supplies the
+    index kind and construction parameters.
+
+    ``durability=None`` (default) re-opens in whatever mode the index
+    was last saved with; ``"wal"``/``"none"`` force the mode for this
+    session.
     """
-    from ..storage import DEFAULT_BUFFER_CAPACITY, FilePageFile, NodeLayout, NodeStore
+    from ..storage import (
+        DEFAULT_BUFFER_CAPACITY,
+        DEFAULT_PAGE_SIZE,
+        NodeLayout,
+        NodeStore,
+        load_meta_prefix,
+        open_storage,
+    )
 
-    pagefile = FilePageFile(path, create=False)
+    geometry, prefix_meta = load_meta_prefix(path)
+    if geometry is not None:
+        page_size = geometry["page_size"] or DEFAULT_PAGE_SIZE
+        checksums = geometry["checksums"]
+    else:
+        # Legacy file (raw-pickle meta page, no superblock): unsealed
+        # pages, geometry only available from the pickled dict.
+        page_size = (prefix_meta or {}).get("page_size", DEFAULT_PAGE_SIZE)
+        checksums = False
+    if durability is None:
+        durability = (prefix_meta or {}).get("durability", "none")
+        if durability not in ("none", "wal"):
+            durability = "none"
+    pagefile, wal, _report = open_storage(
+        path,
+        page_size=page_size,
+        checksums=checksums,
+        durability=durability,
+        sync_every=sync_every,
+        fault_plan=fault_plan,
+        create=False,
+    )
     probe = NodeLayout(dims=1, has_rects=True, has_spheres=False,
                        has_weights=False, page_size=pagefile.page_size)
     meta = NodeStore(probe, pagefile).read_meta()
-    if meta["page_size"] != pagefile.page_size:
-        # The file was written with a non-default page size; reopen with
-        # the right geometry (the meta pickle is short enough to decode
-        # regardless of the probe's page size).
-        pagefile.close()
-        pagefile = FilePageFile(path, page_size=meta["page_size"], create=False)
     try:
         cls = INDEX_KINDS[meta["index"]]
     except KeyError:
-        raise ValueError(f"file holds an unknown index kind {meta['index']!r}") from None
+        raise ValueError(
+            f"file holds an unknown index kind {meta['index']!r}"
+        ) from None
     capacity = buffer_capacity if buffer_capacity else DEFAULT_BUFFER_CAPACITY
     return cls.open(pagefile, buffer_capacity=capacity,
-                    page_cache_capacity=page_cache_capacity)
+                    page_cache_capacity=page_cache_capacity, wal=wal)
+
+
+def open_index(path, buffer_capacity: int | None = None,
+               page_cache_capacity: int = 0, **kwargs) -> SpatialIndex:
+    """Deprecated: use :meth:`repro.api.Database.open` instead.
+
+    Behaves exactly like the internal opener (including WAL recovery and
+    checksum awareness) but warns so callers migrate to the facade.
+    """
+    warnings.warn(
+        "open_index() is deprecated; use repro.Database.open(path) "
+        "(same behavior plus a uniform query API)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _open_index(path, buffer_capacity, page_cache_capacity, **kwargs)

@@ -49,7 +49,7 @@ class KDBTree(SpatialIndex):
     # insertion
     # ------------------------------------------------------------------
 
-    def insert(self, point, value: object = None) -> None:
+    def _insert_point(self, point, value: object = None) -> None:
         """Insert a point with an optional payload."""
         point = as_point(point, self.dims)
         path = self._containing_path(point)
@@ -202,7 +202,7 @@ class KDBTree(SpatialIndex):
     # deletion
     # ------------------------------------------------------------------
 
-    def delete(self, point, value: object = ...) -> None:
+    def _delete_point(self, point, value: object = ...) -> None:
         """Remove one stored copy of ``point``.
 
         The K-D-B-tree has no re-balancing on deletion (Robinson's paper

@@ -37,7 +37,7 @@ class LinearScan(SpatialIndex):
     # mutation
     # ------------------------------------------------------------------
 
-    def insert(self, point, value: object = None) -> None:
+    def _insert_point(self, point, value: object = None) -> None:
         """Append a point to the tail page, opening a new page when full."""
         point = as_point(point, self.dims)
         tail = self.read_node(self._leaf_ids[-1])
@@ -47,6 +47,14 @@ class LinearScan(SpatialIndex):
         tail.add(point.copy(), value)
         self._store.write(tail)
         self._size += 1
+
+    def _mutation_snapshot(self):
+        return (super()._mutation_snapshot(), list(self._leaf_ids))
+
+    def _restore_mutation_snapshot(self, snapshot) -> None:
+        base_snapshot, leaf_ids = snapshot
+        super()._restore_mutation_snapshot(base_snapshot)
+        self._leaf_ids = leaf_ids
 
     # ------------------------------------------------------------------
     # queries

@@ -142,7 +142,7 @@ class VAMSplitRTree(SpatialIndex):
         # A reopened tree holds its data set already.
         self._built = True
 
-    def insert(self, point, value: object = None) -> None:
+    def _insert_point(self, point, value: object = None) -> None:
         raise NotImplementedError(
             "the VAMSplit R-tree is a static index: use build() with the "
             "complete data set"

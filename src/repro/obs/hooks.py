@@ -41,6 +41,10 @@ __all__ = [
     "on_reinsert",
     "on_supernode_growth",
     "on_build",
+    "on_checksum_failure",
+    "on_wal_commit",
+    "on_wal_recovery",
+    "on_degraded",
 ]
 
 _enabled = os.environ.get("REPRO_OBS_METRICS", "1") != "0"
@@ -143,6 +147,26 @@ INDEX_SIZE = REGISTRY.gauge(
 )
 INDEX_HEIGHT = REGISTRY.gauge(
     "repro_index_height", "Tree height (levels, counting leaves)", ("index_kind",)
+)
+CHECKSUM_FAILURES = REGISTRY.counter(
+    "repro_checksum_failures_total",
+    "Pages whose CRC32 verification failed on read (torn or corrupt)",
+    (),
+)
+WAL_COMMITS = REGISTRY.counter(
+    "repro_wal_commits_total",
+    "Transactions committed through the write-ahead log",
+    (),
+)
+WAL_RECOVERED_TXNS = REGISTRY.counter(
+    "repro_wal_recovered_txns_total",
+    "Committed transactions replayed from the WAL during recovery",
+    (),
+)
+DEGRADED_QUERIES = REGISTRY.counter(
+    "repro_degraded_queries_total",
+    "Queries answered with partial results after a shard failure",
+    ("reason",),
 )
 
 
@@ -339,3 +363,31 @@ def on_build(index, points: int, seconds: float) -> None:
     INDEX_SIZE.labels(index_kind=kind).set(index.size)
     INDEX_HEIGHT.labels(index_kind=kind).set(index.height)
     _sync_writes(index)
+
+
+def on_checksum_failure() -> None:
+    """Record a page failing CRC verification on read."""
+    if not _enabled:
+        return
+    CHECKSUM_FAILURES.inc()
+
+
+def on_wal_commit() -> None:
+    """Record a transaction committed through the WAL."""
+    if not _enabled:
+        return
+    WAL_COMMITS.inc()
+
+
+def on_wal_recovery(txns: int) -> None:
+    """Record ``txns`` committed transactions replayed during recovery."""
+    if not _enabled or txns <= 0:
+        return
+    WAL_RECOVERED_TXNS.inc(txns)
+
+
+def on_degraded(reason: str, n: int = 1) -> None:
+    """Record ``n`` queries answered with partial (degraded) results."""
+    if not _enabled or n <= 0:
+        return
+    DEGRADED_QUERIES.labels(reason=reason).inc(n)

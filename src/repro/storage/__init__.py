@@ -10,24 +10,38 @@ index structures.
 """
 
 from .buffer import BufferPool
+from .checksums import CHECKSUM_TRAILER_SIZE, ChecksumPageFile
 from .constants import (
     DEFAULT_LEAF_DATA_SIZE,
     DEFAULT_PAGE_SIZE,
     META_PAGE_ID,
 )
+from .faults import FaultInjectingPageFile, FaultPlan
 from .layout import NodeLayout
 from .nodes import InternalNode, LeafNode
 from .pagecache import PageCache
 from .pagefile import FilePageFile, InMemoryPageFile, PageFile
-from .serializer import NodeCodec
+from .serializer import NodeCodec, load_meta_prefix, peek_meta_geometry
+from .stack import open_pagefile, open_storage, wal_path
 from .stats import IOStats
 from .store import DEFAULT_BUFFER_CAPACITY, NodeStore
+from .wal import (
+    RecoveryReport,
+    WriteAheadLog,
+    open_wal,
+    recover,
+    scan_wal,
+)
 
 __all__ = [
     "BufferPool",
+    "CHECKSUM_TRAILER_SIZE",
+    "ChecksumPageFile",
     "DEFAULT_BUFFER_CAPACITY",
     "DEFAULT_LEAF_DATA_SIZE",
     "DEFAULT_PAGE_SIZE",
+    "FaultInjectingPageFile",
+    "FaultPlan",
     "FilePageFile",
     "IOStats",
     "InMemoryPageFile",
@@ -39,4 +53,14 @@ __all__ = [
     "NodeStore",
     "PageCache",
     "PageFile",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "load_meta_prefix",
+    "open_pagefile",
+    "open_storage",
+    "open_wal",
+    "peek_meta_geometry",
+    "recover",
+    "scan_wal",
+    "wal_path",
 ]

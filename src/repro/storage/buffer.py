@@ -148,6 +148,15 @@ class BufferPool:
         self.flush()
         self._frames.clear()
 
+    def drop(self) -> None:
+        """Drop every frame *without* write-back (transaction abort).
+
+        Dirty in-memory state is abandoned wholesale; the caller is
+        responsible for restoring any index-level counters that pointed
+        at the abandoned nodes.
+        """
+        self._frames.clear()
+
     def nodes(self) -> Iterator[Node]:
         """Iterate over the cached node objects (for diagnostics)."""
         for frame in self._frames.values():

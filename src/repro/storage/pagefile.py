@@ -59,6 +59,16 @@ class PageFile(ABC):
         self._discard(page_id)
         self._free.append(page_id)
 
+    def ensure_allocated(self, page_id: int) -> None:
+        """Extend the allocation horizon to cover ``page_id``.
+
+        WAL recovery replays committed page images into a freshly opened
+        backend whose next-id watermark was derived from the (possibly
+        shorter) data file; this admits those pages for writing.
+        """
+        if page_id >= self._next_id:
+            self._next_id = page_id + 1
+
     def _check_id(self, page_id: int) -> None:
         if page_id != META_PAGE_ID and not (0 < page_id < self._next_id):
             raise PageNotFoundError(page_id)

@@ -39,8 +39,10 @@ through :func:`pack_meta` / :func:`unpack_meta` here.
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
+import zlib
 
 import numpy as np
 
@@ -48,7 +50,14 @@ from ..exceptions import PageOverflowError, SerializationError
 from .layout import NodeLayout
 from .nodes import InternalNode, LeafNode
 
-__all__ = ["NodeCodec", "pack_meta", "unpack_meta"]
+__all__ = [
+    "NodeCodec",
+    "META_SUPERBLOCK_SIZE",
+    "load_meta_prefix",
+    "pack_meta",
+    "peek_meta_geometry",
+    "unpack_meta",
+]
 
 _HEADER = struct.Struct("<BBHIHH")  # kind, flags, level, count, extent, reserved
 _KIND_LEAF = 0
@@ -82,15 +91,66 @@ _LEN_SIZE = _LEN_PREFIX.size
 _PAGE_ID_SIZE = _PAGE_ID.size
 
 
+#: Meta-page superblock: magic (8) + page_size (u32) + flags (u16) +
+#: reserved (u16) + payload length (u32) + payload CRC32 (u32).
+_META_SUPERBLOCK = struct.Struct("<8sIHHII")
+_META_MAGIC = b"RPROMET1"
+_META_FLAG_CHECKSUMS = 0x0001
+META_SUPERBLOCK_SIZE = _META_SUPERBLOCK.size
+
+
 def pack_meta(meta: dict) -> bytes:
-    """Serialize the node store's metadata dict into a page payload."""
-    return _pickle_dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+    """Serialize the node store's metadata dict into a page payload.
+
+    The payload starts with a fixed binary *superblock* carrying the
+    file geometry (page size, checksums flag) followed by the CRC-guarded
+    pickled dict.  The geometry never changes over the life of a file,
+    so its bytes are identical across every meta rewrite — a torn meta
+    write can mangle the pickled tail (detected by the CRC and repaired
+    from the WAL) but never the geometry a reopening process needs to
+    find the WAL in the first place.
+    """
+    payload = _pickle_dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+    flags = _META_FLAG_CHECKSUMS if meta.get("checksums") else 0
+    header = _META_SUPERBLOCK.pack(
+        _META_MAGIC,
+        int(meta.get("page_size", 0)),
+        flags,
+        0,
+        len(payload),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    return header + payload
+
+
+def peek_meta_geometry(payload: bytes) -> dict | None:
+    """File geometry from a meta image, using only the fixed superblock.
+
+    Returns ``{"page_size": int, "checksums": bool}`` or ``None`` when
+    the image does not start with a meta superblock (legacy raw-pickle
+    meta pages, foreign files).  Robust against a torn pickled tail.
+    """
+    if len(payload) < META_SUPERBLOCK_SIZE or payload[:8] != _META_MAGIC:
+        return None
+    _, page_size, flags, _, _, _ = _META_SUPERBLOCK.unpack_from(payload)
+    return {
+        "page_size": int(page_size),
+        "checksums": bool(flags & _META_FLAG_CHECKSUMS),
+    }
 
 
 def unpack_meta(payload: bytes) -> dict:
-    """Inverse of :func:`pack_meta`."""
+    """Inverse of :func:`pack_meta` (legacy raw-pickle pages accepted)."""
+    body = payload
+    if len(payload) >= META_SUPERBLOCK_SIZE and payload[:8] == _META_MAGIC:
+        _, _, _, _, length, crc = _META_SUPERBLOCK.unpack_from(payload)
+        body = payload[META_SUPERBLOCK_SIZE : META_SUPERBLOCK_SIZE + length]
+        if len(body) != length or zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise SerializationError(
+                "metadata page failed its CRC check (torn meta write?)"
+            )
     try:
-        meta = _pickle_loads(payload)
+        meta = _pickle_loads(body)
     except Exception as exc:  # pickle raises many types
         raise SerializationError(f"metadata page failed to decode: {exc}") from exc
     if not isinstance(meta, dict):
@@ -98,6 +158,28 @@ def unpack_meta(payload: bytes) -> dict:
             f"metadata page decoded to {type(meta).__name__}, expected dict"
         )
     return meta
+
+
+def load_meta_prefix(path) -> tuple[dict | None, dict | None]:
+    """Best-effort ``(geometry, meta)`` from the head of an index file.
+
+    Reads the raw file prefix without assuming a page geometry — the
+    meta page is page 0, so its image is simply the first bytes of the
+    file, and a pickle stream ignores trailing padding.  ``geometry``
+    comes from the superblock (``None`` for legacy files); ``meta`` is
+    the full dict, or ``None`` when the pickled tail is torn or legacy
+    decoding fails.  Used by ``Database.open``/``open_index`` to learn
+    the page size and checksum mode before building the page-file stack.
+    """
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        prefix = handle.read(min(size, 1 << 20))
+    geometry = peek_meta_geometry(prefix)
+    try:
+        meta = unpack_meta(prefix)
+    except SerializationError:
+        meta = None
+    return geometry, meta
 
 
 class NodeCodec:

@@ -1,0 +1,116 @@
+"""Assembling the physical page stack: file + faults + checksums + WAL.
+
+The storage engine is a sandwich of small wrappers::
+
+    NodeStore
+      -> ChecksumPageFile        (optional: seals pages with CRC32)
+      -> FaultInjectingPageFile  (tests only: torn writes, bit rot, EIO)
+      -> FilePageFile | InMemoryPageFile
+
+Stacking order matters: fault injection sits *below* the checksum layer
+so a simulated torn write tears the sealed physical page — which the CRC
+then catches — instead of producing a validly-sealed corrupt page.
+
+:func:`open_pagefile` is the only sanctioned way to build this stack
+outside the storage package (``tools/lint.py`` rejects direct
+``FilePageFile(...)`` construction elsewhere in ``repro``), and
+:func:`open_storage` adds WAL recovery on top for the common
+open-an-existing-index path.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .checksums import CHECKSUM_TRAILER_SIZE, ChecksumPageFile
+from .constants import DEFAULT_PAGE_SIZE
+from .faults import FaultInjectingPageFile, FaultPlan
+from .pagefile import FilePageFile, InMemoryPageFile, PageFile
+from .wal import RecoveryReport, WriteAheadLog, open_wal, recover
+
+__all__ = ["open_pagefile", "open_storage", "wal_path"]
+
+
+def wal_path(path: str | os.PathLike) -> str:
+    """The conventional WAL location for a data file: ``<path>.wal``."""
+    return os.fspath(path) + ".wal"
+
+
+def open_pagefile(
+    path: str | os.PathLike | None,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    checksums: bool = False,
+    fault_plan: FaultPlan | None = None,
+    create: bool = True,
+) -> PageFile:
+    """Build the logical page stack over one data file.
+
+    Parameters
+    ----------
+    path:
+        Data file path, or ``None`` for an in-memory backend.
+    page_size:
+        The *logical* page size (what the node layout sees).  With
+        ``checksums=True`` the physical file uses pages 8 bytes larger;
+        the caller never needs to care.
+    checksums:
+        Seal every page with a CRC32 trailer
+        (:class:`~repro.storage.checksums.ChecksumPageFile`).
+    fault_plan:
+        Test-only :class:`~repro.storage.faults.FaultPlan`; when given,
+        a :class:`~repro.storage.faults.FaultInjectingPageFile` is
+        spliced in *below* the checksum layer.
+    create:
+        Passed through to :class:`~repro.storage.pagefile.FilePageFile`;
+        ``False`` raises if the file does not exist.
+    """
+    physical = page_size + CHECKSUM_TRAILER_SIZE if checksums else page_size
+    base: PageFile
+    if path is None:
+        base = InMemoryPageFile(physical)
+    else:
+        base = FilePageFile(path, page_size=physical, create=create)
+    if fault_plan is not None:
+        base = FaultInjectingPageFile(base, fault_plan)
+    if checksums:
+        return ChecksumPageFile(base, page_size)
+    return base
+
+
+def open_storage(
+    path: str | os.PathLike,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    checksums: bool = False,
+    durability: str = "none",
+    sync_every: int = 1,
+    fault_plan: FaultPlan | None = None,
+    create: bool = True,
+) -> tuple[PageFile, WriteAheadLog | None, RecoveryReport]:
+    """Open (or create) a data file with crash recovery applied.
+
+    Runs :func:`~repro.storage.wal.recover` against any WAL left behind
+    by a previous process — whether or not the new session wants WAL
+    durability itself — then opens a fresh log when ``durability ==
+    "wal"``.  Returns ``(pagefile, wal_or_none, recovery_report)``.
+    """
+    if durability not in ("none", "wal"):
+        raise ValueError(
+            f"unknown durability mode {durability!r}; expected 'none' or 'wal'"
+        )
+    pagefile = open_pagefile(
+        path,
+        page_size=page_size,
+        checksums=checksums,
+        fault_plan=fault_plan,
+        create=create,
+    )
+    log_path = wal_path(path)
+    report = RecoveryReport()
+    if os.path.exists(log_path) and os.path.getsize(log_path):
+        report = recover(pagefile, log_path)
+    wal: WriteAheadLog | None = None
+    if durability == "wal":
+        wal = open_wal(log_path, sync_every=sync_every, fault_plan=fault_plan)
+    return pagefile, wal, report

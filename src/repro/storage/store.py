@@ -9,9 +9,10 @@ across buffer evictions safely.
 
 from __future__ import annotations
 
-from ..exceptions import StorageError
+from ..exceptions import StorageError, WALError
 from ..obs.tracer import trace
 from .buffer import BufferPool
+from .checksums import ChecksumPageFile
 from .constants import META_PAGE_ID
 from .layout import NodeLayout
 from .nodes import InternalNode, LeafNode
@@ -19,6 +20,7 @@ from .pagecache import PageCache
 from .pagefile import InMemoryPageFile, PageFile
 from .serializer import NodeCodec, pack_meta, unpack_meta
 from .stats import IOStats
+from .wal import WriteAheadLog
 
 __all__ = ["NodeStore", "DEFAULT_BUFFER_CAPACITY"]
 
@@ -38,6 +40,7 @@ class NodeStore:
         buffer_capacity: int = DEFAULT_BUFFER_CAPACITY,
         stats: IOStats | None = None,
         page_cache_capacity: int = 0,
+        wal: WriteAheadLog | None = None,
     ) -> None:
         self.layout = layout
         self.pagefile = pagefile if pagefile is not None else InMemoryPageFile(
@@ -59,6 +62,26 @@ class NodeStore:
             if page_cache_capacity > 0
             else None
         )
+        #: Optional write-ahead log.  While a transaction is open every
+        #: page write is journaled and *shadowed* in memory instead of
+        #: reaching the page file; :meth:`commit_txn` makes the shadow
+        #: durable (WAL commit) and then applies it.
+        self.wal = wal
+        self._shadow: dict[int, bytes] = {}
+        self._shadow_meta: bytes | None = None
+        self._txn_freed: list[int] = []
+        self._txn_allocated: list[int] = []
+        self._closed = False
+
+    @property
+    def in_txn(self) -> bool:
+        """Whether a WAL transaction is currently open."""
+        return self.wal is not None and self.wal.in_txn
+
+    @property
+    def has_checksums(self) -> bool:
+        """Whether the page stack seals pages with CRC trailers."""
+        return isinstance(self.pagefile, ChecksumPageFile)
 
     # ------------------------------------------------------------------
     # node construction
@@ -67,6 +90,8 @@ class NodeStore:
     def new_leaf(self) -> LeafNode:
         """Allocate a page and return a fresh empty leaf bound to it."""
         page_id = self.pagefile.allocate()
+        if self.in_txn:
+            self._txn_allocated.append(page_id)
         leaf = LeafNode(page_id, self.layout.dims, self.layout.leaf_capacity)
         self.buffer.put(leaf, dirty=True)
         return leaf
@@ -88,6 +113,8 @@ class NodeStore:
             has_weights=self.layout.has_weights,
         )
         node.extra_pages = [self.pagefile.allocate() for _ in range(extent - 1)]
+        if self.in_txn:
+            self._txn_allocated.extend(node.all_page_ids)
         self.buffer.put(node, dirty=True)
         return node
 
@@ -123,10 +150,10 @@ class NodeStore:
                 if pin:
                     self.buffer.pin(page_id)
                 return node
-            data = self.pagefile.read(page_id)
+            data = self._read_page_image(page_id)
             extent, extras = self.codec.peek_extent(data)
             if extent > 1:
-                data = data + b"".join(self.pagefile.read(p) for p in extras)
+                data = data + b"".join(self._read_page_image(p) for p in extras)
             node = self.codec.decode(page_id, data)
             self.stats.page_reads += extent
             if node.is_leaf:
@@ -147,6 +174,21 @@ class NodeStore:
             self.buffer.pin(page_id)
         return node
 
+    def _read_page_image(self, page_id: int) -> bytes:
+        """One physical page image, honouring the transaction shadow.
+
+        During a transaction the freshest copy of an evicted dirty page
+        lives in the shadow table, not the data file; reading it from
+        there still counts as a physical read (the page *would* have
+        come from disk had the buffer been larger), which preserves the
+        EXPLAIN-pages == ``IOStats.page_reads`` invariant.
+        """
+        if self._shadow:
+            image = self._shadow.get(page_id)
+            if image is not None:
+                return image
+        return self.pagefile.read(page_id)
+
     def write(self, node: Node) -> None:
         """Record that ``node`` was mutated (write-back happens lazily)."""
         self.buffer.put(node, dirty=True)
@@ -162,7 +204,12 @@ class NodeStore:
         self.buffer.unpin(page_id)
 
     def free(self, node_or_id: Node | int) -> None:
-        """Release every page of a node back to the page file."""
+        """Release every page of a node back to the page file.
+
+        Inside a transaction the release is *deferred* to commit time:
+        an aborted transaction must leave the committed tree intact, and
+        the committed tree may still reference these pages.
+        """
         if isinstance(node_or_id, int):
             page_ids = [node_or_id]
         else:
@@ -170,6 +217,11 @@ class NodeStore:
         self.buffer.discard(page_ids[0])
         if self.page_cache is not None:
             self.page_cache.invalidate(page_ids[0])
+        if self.in_txn:
+            for page_id in page_ids:
+                self._shadow.pop(page_id, None)
+            self._txn_freed.extend(page_ids)
+            return
         for page_id in page_ids:
             self.pagefile.free(page_id)
 
@@ -192,9 +244,19 @@ class NodeStore:
     def _write_back(self, node: Node) -> None:
         image = self.codec.encode(node)
         page_size = self.layout.page_size
+        in_txn = self.in_txn
         for i, page_id in enumerate(node.all_page_ids):
             chunk = image[i * page_size : (i + 1) * page_size]
-            self.pagefile.write(page_id, chunk)
+            if in_txn:
+                # Journal + shadow; the data file is untouched until
+                # commit.  Chunks are padded so supernode reassembly
+                # (first + extras concatenation) stays page aligned.
+                if len(chunk) < page_size:
+                    chunk = chunk + b"\x00" * (page_size - len(chunk))
+                self.wal.log_page(page_id, chunk)
+                self._shadow[page_id] = chunk
+            else:
+                self.pagefile.write(page_id, chunk)
         extent = node.extent
         self.stats.page_writes += extent
         if node.is_leaf:
@@ -211,18 +273,118 @@ class NodeStore:
         image = pack_meta(meta)
         if len(image) > self.layout.page_size:
             raise StorageError("index metadata does not fit in the meta page")
+        if self.in_txn:
+            self.wal.log_meta(image)
+            self._shadow_meta = image
+            return
         self.pagefile.write(META_PAGE_ID, image)
         self.pagefile.sync()
 
     def read_meta(self) -> dict:
         """Load the index metadata dict from the reserved meta page."""
-        data = self.pagefile.read(META_PAGE_ID)
+        if self._shadow_meta is not None:
+            data: bytes = self._shadow_meta
+        else:
+            data = self.pagefile.read(META_PAGE_ID)
         try:
             return unpack_meta(data)
         except Exception as exc:
             raise StorageError(f"meta page is corrupt: {exc}") from exc
 
+    # ------------------------------------------------------------------
+    # transactions (WAL-backed durability)
+    # ------------------------------------------------------------------
+
+    def begin_txn(self) -> int:
+        """Open a WAL transaction; page writes shadow until commit."""
+        if self.wal is None:
+            raise WALError("node store has no write-ahead log attached")
+        txn_id = self.wal.begin()
+        self._shadow.clear()
+        self._shadow_meta = None
+        self._txn_freed.clear()
+        self._txn_allocated.clear()
+        return txn_id
+
+    def commit_txn(self) -> None:
+        """Make the open transaction durable, then apply it.
+
+        Sequence: flush dirty buffers (their images land in the WAL and
+        the shadow table), append COMMIT (the durability point), apply
+        the shadow to the data file, release deferred frees, and
+        checkpoint if the log has outgrown its threshold.  A crash after
+        COMMIT but before (or during) the apply is exactly what
+        :func:`~repro.storage.wal.recover` repairs on reopen.
+        """
+        if not self.in_txn:
+            raise WALError("no open transaction")
+        self.buffer.flush()
+        self.wal.commit()
+        for page_id, image in self._shadow.items():
+            self.pagefile.write(page_id, image)
+        if self._shadow_meta is not None:
+            self.pagefile.write(META_PAGE_ID, self._shadow_meta)
+        for page_id in self._txn_freed:
+            self.pagefile.free(page_id)
+        self._shadow.clear()
+        self._shadow_meta = None
+        self._txn_freed.clear()
+        self._txn_allocated.clear()
+        if self.wal.size() > self.wal.checkpoint_bytes:
+            self.checkpoint()
+
+    def abort_txn(self) -> None:
+        """Roll the open transaction back entirely in memory.
+
+        Nothing journaled reaches the data file; dirty buffer frames are
+        dropped (not flushed), shadowed images and deferred frees are
+        discarded, and pages allocated by the transaction return to the
+        free list.  The caller must restore its own counters (root id,
+        height, size) from a pre-transaction snapshot.
+        """
+        if self.wal is not None and self.wal.in_txn:
+            self.wal.abort()
+        self.buffer.drop()
+        if self.page_cache is not None:
+            self.page_cache.clear()
+        self._shadow.clear()
+        self._shadow_meta = None
+        self._txn_freed.clear()
+        for page_id in reversed(self._txn_allocated):
+            self.pagefile.free(page_id)
+        self._txn_allocated.clear()
+
+    def checkpoint(self) -> None:
+        """Fsync the data file, then truncate the WAL."""
+        if self.wal is None:
+            return
+        self.pagefile.sync()
+        self.wal.truncate()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
+        return self._closed
+
     def close(self) -> None:
-        """Flush everything and close the backing page file."""
+        """Flush everything and close the backing page file (idempotent)."""
+        if self._closed:
+            return
+        if self.in_txn:  # a caller died mid-transaction: roll back
+            self.abort_txn()
         self.flush()
+        if self.wal is not None:
+            self.checkpoint()
+            self.wal.close()
         self.pagefile.close()
+        self._closed = True
+
+    def __enter__(self) -> "NodeStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

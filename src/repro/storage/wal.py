@@ -1,0 +1,368 @@
+"""Physical write-ahead log: crash-safe page and meta updates.
+
+The SR-tree is a *dynamic, disk-based* index, and a single insert
+mutates several pages (leaf, split sibling, every ancestor, the meta
+page holding the root pointer).  A crash between any two of those page
+writes leaves the file torn: a parent pointing at a child that was never
+written, a root pointer into a half-updated tree.  The WAL closes that
+window with classic physical redo logging:
+
+1. during a transaction every page image is appended to the log — the
+   data file is **not** touched;
+2. ``commit`` appends a COMMIT record (``fsync`` according to the
+   batching policy) — this is the durability point;
+3. only then are the images applied to the data file;
+4. on reopen, :func:`recover` replays every *committed* transaction's
+   images into the data file (pure redo — replay is idempotent) and
+   discards the torn tail after the last intact record.
+
+Uncommitted transactions never reach the data file, so recovery needs no
+undo pass.  A checkpoint (automatic once the log exceeds
+``checkpoint_bytes``, and on ``close``) fsyncs the data file and
+truncates the log.
+
+Record format (little endian)::
+
+    +--------+------+---------+-------------+-------+-----------+
+    | magic  | type | txn id  | payload len | CRC32 | payload   |
+    | u32    | u8   | u64     | u32         | u32   | ...       |
+    +--------+------+---------+-------------+-------+-----------+
+
+``CRC32`` covers type, txn id, and payload, so a torn append (or a bit
+flip) invalidates the record and everything after it.  PAGE payloads are
+``page_id (u32) + page image``; META payloads are the raw meta-page
+image; BEGIN/COMMIT have empty payloads.
+
+**fsync batching.**  ``sync_every=1`` (default) fsyncs on every commit —
+every acknowledged insert survives an OS crash.  ``sync_every=N`` fsyncs
+every Nth commit: process crashes lose nothing (the OS has the bytes),
+OS crashes may lose up to the last N-1 acknowledged transactions, and
+insert throughput rises accordingly.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from ..exceptions import WALError
+from .constants import META_PAGE_ID
+from .pagefile import PageFile
+
+__all__ = ["RecoveryReport", "WriteAheadLog", "open_wal", "recover", "scan_wal"]
+
+_RECORD = struct.Struct("<IBQII")
+_MAGIC = 0x57414C31  # "WAL1"
+
+REC_BEGIN = 1
+REC_PAGE = 2
+REC_META = 3
+REC_COMMIT = 4
+
+_PAGE_ID = struct.Struct("<I")
+
+
+@dataclass
+class _Txn:
+    """One committed transaction as reconstructed by :func:`scan_wal`."""
+
+    txn_id: int
+    pages: dict[int, bytes] = field(default_factory=dict)
+    meta: bytes | None = None
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery pass found and did."""
+
+    committed_txns: int = 0
+    replayed_pages: int = 0
+    replayed_meta: bool = False
+    discarded_txns: int = 0
+    discarded_bytes: int = 0
+    last_txn_id: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"recovered {self.committed_txns} committed txn(s) "
+            f"({self.replayed_pages} page image(s)"
+            f"{', meta' if self.replayed_meta else ''}), discarded "
+            f"{self.discarded_txns} uncommitted txn(s) and "
+            f"{self.discarded_bytes} torn tail byte(s)"
+        )
+
+
+class WriteAheadLog:
+    """Append-only physical redo log for one page file.
+
+    Parameters
+    ----------
+    path:
+        Log file path (conventionally ``<data file> + ".wal"``).
+    sync_every:
+        Fsync the log on every Nth commit (see module docstring).
+    checkpoint_bytes:
+        Auto-checkpoint threshold checked by the node store after each
+        applied commit; the log is truncated once it grows past this.
+    fault_plan:
+        Optional :class:`~repro.storage.faults.FaultPlan` sharing the
+        crash-test write budget with the data file, so the kill harness
+        can die mid-log-append too.
+    """
+
+    def __init__(self, path, *, sync_every: int = 1,
+                 checkpoint_bytes: int = 16 * 1024 * 1024,
+                 fault_plan=None) -> None:
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be >= 1, got {sync_every}")
+        self._path = os.fspath(path)
+        self._file = open(self._path, "ab")
+        self._sync_every = sync_every
+        self._commits_since_sync = 0
+        self.checkpoint_bytes = checkpoint_bytes
+        self._fault_plan = fault_plan
+        self._txn_id = 0
+        self._in_txn = False
+        self._records_in_txn = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """Filesystem path of the log file."""
+        return self._path
+
+    @property
+    def in_txn(self) -> bool:
+        """Whether a transaction is currently open."""
+        return self._in_txn
+
+    @property
+    def records_in_txn(self) -> int:
+        """Records appended by the open transaction (0 outside one)."""
+        return self._records_in_txn
+
+    def size(self) -> int:
+        """Current log size in bytes."""
+        self._file.flush()
+        return os.path.getsize(self._path)
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+
+    def begin(self) -> int:
+        """Open a transaction; returns its id."""
+        if self._in_txn:
+            raise WALError("transaction already open")
+        self._txn_id += 1
+        self._in_txn = True
+        self._records_in_txn = 0
+        self._append(REC_BEGIN, self._txn_id, b"")
+        return self._txn_id
+
+    def log_page(self, page_id: int, image: bytes) -> None:
+        """Journal the after-image of one page."""
+        self._require_txn()
+        self._append(REC_PAGE, self._txn_id, _PAGE_ID.pack(page_id) + image)
+
+    def log_meta(self, image: bytes) -> None:
+        """Journal the after-image of the meta page."""
+        self._require_txn()
+        self._append(REC_META, self._txn_id, bytes(image))
+
+    def commit(self) -> None:
+        """Append the COMMIT record; fsync per the batching policy.
+
+        Once this returns, the transaction is durable: recovery will
+        replay it even if none of its images ever reach the data file.
+        """
+        self._require_txn()
+        self._append(REC_COMMIT, self._txn_id, b"")
+        self._in_txn = False
+        self._records_in_txn = 0
+        self._commits_since_sync += 1
+        self._file.flush()
+        if self._commits_since_sync >= self._sync_every:
+            os.fsync(self._file.fileno())
+            self._commits_since_sync = 0
+        from ..obs.hooks import on_wal_commit
+
+        on_wal_commit()
+
+    def abort(self) -> None:
+        """Drop the open transaction (its records are never committed)."""
+        self._in_txn = False
+        self._records_in_txn = 0
+
+    def _require_txn(self) -> None:
+        if not self._in_txn:
+            raise WALError("no open transaction")
+
+    def _append(self, rec_type: int, txn_id: int, payload: bytes) -> None:
+        crc = _record_crc(rec_type, txn_id, payload)
+        record = _RECORD.pack(_MAGIC, rec_type, txn_id, len(payload), crc) + payload
+        plan = self._fault_plan
+        if plan is not None:
+            allowed = plan.take_write_budget(len(record))
+            if allowed < len(record):
+                # Simulated death mid-append: a torn log record.
+                self._file.write(record[:allowed])
+                self._file.flush()
+                plan.die("WAL append")
+        self._file.write(record)
+        self._records_in_txn += 1
+
+    # ------------------------------------------------------------------
+    # checkpointing / lifecycle
+    # ------------------------------------------------------------------
+
+    def truncate(self) -> None:
+        """Empty the log (caller must have fsynced the data file first)."""
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._commits_since_sync = 0
+
+    def sync(self) -> None:
+        """Force an fsync regardless of the batching policy."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._commits_since_sync = 0
+
+    def close(self) -> None:
+        """Flush and close the log file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _record_crc(rec_type: int, txn_id: int, payload: bytes) -> int:
+    crc = zlib.crc32(bytes((rec_type,)))
+    crc = zlib.crc32(txn_id.to_bytes(8, "little"), crc)
+    return zlib.crc32(payload, crc) & 0xFFFFFFFF
+
+
+def scan_wal(path) -> tuple[list[_Txn], RecoveryReport]:
+    """Parse a log file into its committed transactions.
+
+    Walks records from the start, stopping at the first torn or corrupt
+    record (everything after it is unreachable tail, by construction —
+    records are appended strictly in order).  Transactions with no
+    COMMIT record by the time the scan stops are discarded.  Returns the
+    committed transactions in commit order plus a report; the report's
+    ``last_txn_id`` covers *every* txn id seen, so a re-opened WAL can
+    continue the id sequence without collisions.
+    """
+    report = RecoveryReport()
+    committed: list[_Txn] = []
+    open_txns: dict[int, _Txn] = {}
+    size = os.path.getsize(path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    pos = 0
+    header_size = _RECORD.size
+    while pos + header_size <= size:
+        magic, rec_type, txn_id, length, crc = _RECORD.unpack_from(data, pos)
+        if magic != _MAGIC:
+            break
+        end = pos + header_size + length
+        if end > size:
+            break  # torn payload
+        payload = data[pos + header_size : end]
+        if _record_crc(rec_type, txn_id, payload) != crc:
+            break  # bit flip or torn header
+        report.last_txn_id = max(report.last_txn_id, txn_id)
+        if rec_type == REC_BEGIN:
+            open_txns[txn_id] = _Txn(txn_id)
+        elif rec_type == REC_PAGE:
+            txn = open_txns.get(txn_id)
+            if txn is not None:
+                (page_id,) = _PAGE_ID.unpack_from(payload)
+                txn.pages[page_id] = payload[_PAGE_ID.size :]
+        elif rec_type == REC_META:
+            txn = open_txns.get(txn_id)
+            if txn is not None:
+                txn.meta = payload
+        elif rec_type == REC_COMMIT:
+            txn = open_txns.pop(txn_id, None)
+            if txn is not None:
+                committed.append(txn)
+        else:
+            break  # unknown record type: treat as corruption
+        pos = end
+    report.committed_txns = len(committed)
+    report.discarded_txns = len(open_txns)
+    report.discarded_bytes = size - pos
+    return committed, report
+
+
+def recover(pagefile: PageFile, wal_path, *, truncate: bool = True) -> RecoveryReport:
+    """Replay every committed WAL transaction into ``pagefile``.
+
+    Pure redo: page images are rewritten in commit order, so replaying a
+    log twice (or replaying transactions whose images already reached
+    the data file) converges to the same bytes — asserted by
+    ``tests/test_wal.py``.  The data file is fsynced before the log is
+    truncated, closing the crash-during-recovery window.
+
+    ``pagefile`` must be the *logical* page stack (checksummed when the
+    file is), so replayed images are re-sealed on the way down.
+    """
+    if not os.path.exists(wal_path):
+        return RecoveryReport()
+    committed, report = scan_wal(wal_path)
+    for txn in committed:
+        for page_id, image in txn.pages.items():
+            if len(image) > pagefile.page_size:
+                raise WALError(
+                    f"WAL page image for page {page_id} is {len(image)} bytes, "
+                    f"page size is {pagefile.page_size}"
+                )
+            pagefile.ensure_allocated(page_id)
+            pagefile.write(page_id, image)
+            report.replayed_pages += 1
+        if txn.meta is not None:
+            pagefile.ensure_allocated(META_PAGE_ID)
+            pagefile.write(META_PAGE_ID, txn.meta)
+            report.replayed_meta = True
+    pagefile.sync()
+    if truncate and (committed or report.discarded_bytes or report.discarded_txns):
+        # Preserve the id watermark so a continuing WAL never reuses ids.
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(0)
+            handle.flush()
+            os.fsync(handle.fileno())
+    from ..obs.hooks import on_wal_recovery
+
+    on_wal_recovery(report.committed_txns)
+    return report
+
+
+def open_wal(path, *, sync_every: int = 1, fault_plan=None,
+             checkpoint_bytes: int = 16 * 1024 * 1024) -> WriteAheadLog:
+    """Open a WAL for appending, continuing the txn-id sequence.
+
+    The caller is expected to have run :func:`recover` first (the log is
+    normally empty here); any surviving records are scanned so fresh
+    transactions get ids strictly above everything already on disk.
+    """
+    wal = WriteAheadLog(path, sync_every=sync_every, fault_plan=fault_plan,
+                        checkpoint_bytes=checkpoint_bytes)
+    if os.path.getsize(path):
+        _, report = scan_wal(path)
+        wal._txn_id = report.last_txn_id
+    return wal

@@ -1,0 +1,98 @@
+"""CLI durability surface: build --durability, recover, verify."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.storage import CHECKSUM_TRAILER_SIZE
+
+
+@pytest.fixture
+def data_file(tmp_path, rng):
+    path = tmp_path / "points.npy"
+    np.save(path, rng.random((150, 4)))
+    return path
+
+
+def run(*argv) -> int:
+    return main([str(a) for a in argv])
+
+
+def test_build_durable_then_verify(tmp_path, data_file, capsys):
+    out = tmp_path / "durable.db"
+    code = run("build", "--kind", "srtree", "--data", data_file,
+               "--out", out, "--page-size", "2048", "--durability", "wal")
+    assert code == 0
+    assert "WAL" in capsys.readouterr().out
+    # WAL mode implies checksummed (enlarged) physical pages.
+    assert out.stat().st_size % (2048 + CHECKSUM_TRAILER_SIZE) == 0
+
+    assert run("verify", "--index", out) == 0
+    text = capsys.readouterr().out
+    assert "OK" in text and "checksummed" in text
+
+
+def test_build_checksums_without_wal(tmp_path, data_file, capsys):
+    out = tmp_path / "sealed.db"
+    assert run("build", "--data", data_file, "--out", out,
+               "--page-size", "2048", "--checksums") == 0
+    assert "checksummed" in capsys.readouterr().out
+    assert run("query", "--index", out, "--row", "3",
+               "--data", data_file, "-k", "3") == 0
+
+
+def test_recover_on_clean_file_is_a_noop(tmp_path, data_file, capsys):
+    out = tmp_path / "clean.db"
+    run("build", "--data", data_file, "--out", out, "--durability", "wal")
+    assert run("recover", "--index", out) == 0
+    assert "no write-ahead log" in capsys.readouterr().out
+
+
+def test_recover_replays_a_crashed_log(tmp_path, data_file, capsys):
+    from repro import Database
+    from repro.exceptions import CrashError
+    from repro.storage import FaultPlan
+
+    out = str(tmp_path / "crashed.db")
+    points = np.load(data_file)
+    with Database.create(out, kind="sr", dims=4, durability="wal",
+                         page_size=2048):
+        pass
+    plan = FaultPlan(fail_after_write_bytes=40_000)
+    db = Database.open(out, fault_plan=plan, sync_every=50)
+    with pytest.raises(CrashError):
+        for i, point in enumerate(points):
+            db.insert(point, value=i)
+    # Model process death: hand the buffered bytes to the "OS".
+    pagefile = db.index.store.pagefile
+    while hasattr(pagefile, "inner"):
+        pagefile = pagefile.inner
+    pagefile._file.flush()
+    pagefile._file.close()
+    db.index.store.wal.close()
+
+    assert run("recover", "--index", out) == 0
+    text = capsys.readouterr().out
+    assert "recovered" in text
+    assert run("verify", "--index", out) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_fails_on_corruption(tmp_path, data_file, capsys):
+    out = tmp_path / "rotten.db"
+    run("build", "--data", data_file, "--out", out,
+        "--page-size", "2048", "--checksums")
+    physical = 2048 + CHECKSUM_TRAILER_SIZE
+    with open(out, "r+b") as handle:
+        handle.seek(2 * physical + 100)  # inside a tree page's image
+        byte = handle.read(1)
+        handle.seek(-1, 1)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    assert run("verify", "--index", out) == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_recover_missing_file_errors(tmp_path):
+    assert run("recover", "--index", tmp_path / "nope.db") == 2

@@ -1,0 +1,146 @@
+"""ServingPool resilience: retries, timeouts, graceful degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.exec.parallel import ServingPool
+from repro.obs.hooks import DEGRADED_QUERIES
+from repro.storage import FaultInjectingPageFile, FaultPlan
+from repro.workloads import uniform_dataset
+
+DIMS = 5
+POINTS = 80
+K = 3
+
+
+@pytest.fixture
+def index_path(tmp_path):
+    path = str(tmp_path / "served.db")
+    with Database.create(path, kind="sr", dims=DIMS, page_size=2048) as db:
+        db.insert_many(uniform_dataset(POINTS, DIMS, seed=11))
+    return path
+
+
+def _inject(pool: ServingPool, worker: int, plan: FaultPlan) -> None:
+    """Splice a fault-injecting layer under one worker's store."""
+    store = pool._indexes[worker].store
+    store.pagefile = FaultInjectingPageFile(store.pagefile, plan)
+    pool.drop_caches()  # force the next query to hit the faulty layer
+
+
+def _root_page(pool: ServingPool, worker: int) -> int:
+    return pool._indexes[worker]._root_id
+
+
+def test_clean_pool_reports_complete(index_path):
+    queries = uniform_dataset(8, DIMS, seed=1)
+    with ServingPool(index_path, workers=2) as pool:
+        results, complete = pool.knn(queries, k=K, with_flags=True)
+        assert all(complete)
+        assert all(len(row) == K for row in results)
+        assert pool.degraded_queries == 0
+
+
+def test_transient_read_fault_is_retried(index_path):
+    queries = uniform_dataset(8, DIMS, seed=2)
+    with ServingPool(index_path, workers=2, read_retries=2,
+                     retry_backoff=0.001) as pool:
+        plan = FaultPlan(read_error_pages=(_root_page(pool, 0),),
+                         transient_read_errors=1)
+        _inject(pool, 0, plan)
+        results, complete = pool.knn(queries, k=K, with_flags=True)
+        # The first attempt died on the injected EIO; the retry succeeded.
+        assert all(complete)
+        assert all(len(row) == K for row in results)
+        assert pool.degraded_queries == 0
+
+
+def test_permanent_read_fault_degrades_only_its_shard(index_path):
+    queries = uniform_dataset(8, DIMS, seed=3)
+    before = DEGRADED_QUERIES.labels(reason="io_error").value
+    with ServingPool(index_path, workers=2, read_retries=1,
+                     retry_backoff=0.001) as pool:
+        plan = FaultPlan(read_error_pages=(_root_page(pool, 0),),
+                         transient_read_errors=0)  # permanent EIO
+        _inject(pool, 0, plan)
+        results, complete = pool.knn(queries, k=K, with_flags=True)
+        # Worker 0 owns the first contiguous shard (4 of 8 queries).
+        assert complete == [False] * 4 + [True] * 4
+        assert results[:4] == [[], [], [], []]
+        assert all(len(row) == K for row in results[4:])
+        assert pool.degraded_queries == 4
+    assert DEGRADED_QUERIES.labels(reason="io_error").value == before + 4
+
+
+def test_crashed_backend_degrades_not_raises(index_path):
+    queries = uniform_dataset(6, DIMS, seed=4)
+    before = DEGRADED_QUERIES.labels(reason="storage_error").value
+    with ServingPool(index_path, workers=2) as pool:
+        plan = FaultPlan()
+        plan.dead = True  # simulated already-crashed process
+        _inject(pool, 0, plan)
+        results, complete = pool.knn(queries, k=K, with_flags=True)
+        assert complete == [False] * 3 + [True] * 3
+        assert all(len(row) == K for row in results[3:])
+    assert (DEGRADED_QUERIES.labels(reason="storage_error").value
+            == before + 3)
+
+
+def test_slow_shard_times_out_and_degrades(index_path):
+    queries = uniform_dataset(4, DIMS, seed=5)
+    before = DEGRADED_QUERIES.labels(reason="timeout").value
+    with ServingPool(index_path, workers=2, timeout=0.05) as pool:
+        plan = FaultPlan(slow_read_seconds=0.1)
+        _inject(pool, 0, plan)
+        results, complete = pool.knn(queries, k=K, with_flags=True)
+        assert complete == [False, False, True, True]
+        assert results[0] == [] and results[1] == []
+        assert pool.degraded_queries == 2
+    assert DEGRADED_QUERIES.labels(reason="timeout").value == before + 2
+
+
+def test_without_flags_degraded_queries_come_back_empty(index_path):
+    queries = uniform_dataset(4, DIMS, seed=6)
+    with ServingPool(index_path, workers=2, read_retries=0) as pool:
+        plan = FaultPlan(read_error_pages=(_root_page(pool, 0),),
+                         transient_read_errors=0)
+        _inject(pool, 0, plan)
+        results = pool.knn(queries, k=K)
+        assert results[:2] == [[], []]
+        assert all(len(row) == K for row in results[2:])
+
+
+def test_range_queries_degrade_the_same_way(index_path):
+    queries = uniform_dataset(4, DIMS, seed=7)
+    with ServingPool(index_path, workers=2, read_retries=0) as pool:
+        plan = FaultPlan(read_error_pages=(_root_page(pool, 0),),
+                         transient_read_errors=0)
+        _inject(pool, 0, plan)
+        results, complete = pool.range(queries, 0.6, with_flags=True)
+        assert complete == [False, False, True, True]
+        assert results[0] == []
+
+
+def test_invalid_resilience_parameters_rejected(index_path):
+    with pytest.raises(ValueError, match="timeout"):
+        ServingPool(index_path, workers=1, timeout=0.0)
+    with pytest.raises(ValueError, match="read_retries"):
+        ServingPool(index_path, workers=1, read_retries=-1)
+
+
+def test_programming_errors_still_raise(index_path):
+    with ServingPool(index_path, workers=1) as pool:
+        with pytest.raises(Exception):
+            pool.knn(np.zeros((2, DIMS + 3)), k=K)  # wrong dimensionality
+
+
+def test_pool_close_survives_a_dead_worker(index_path):
+    pool = ServingPool(index_path, workers=2)
+    plan = FaultPlan()
+    plan.dead = True
+    _inject(pool, 0, plan)
+    pool.close()  # must not raise despite the crashed backend
+    assert pool._closed

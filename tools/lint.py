@@ -154,6 +154,57 @@ def check_pickle_usage(path: str, tree: ast.Module) -> list[str]:
     return problems
 
 
+#: Page-file classes that may be constructed only inside the storage
+#: package (and its tests): everyone else must go through
+#: ``repro.storage.open_pagefile`` / ``open_storage`` so checksum
+#: trailers, fault injection, and WAL recovery stack in the right order.
+PAGEFILE_CLASSES = frozenset({
+    "FilePageFile",
+    "InMemoryPageFile",
+    "ChecksumPageFile",
+    "FaultInjectingPageFile",
+})
+
+#: Where direct page-file construction is allowed: the storage package
+#: itself (which defines the stack) and the test/benchmark trees (which
+#: exercise individual layers in isolation).
+PAGEFILE_ALLOWED_PREFIXES = (
+    os.path.join("src", "repro", "storage") + os.sep,
+    "tests" + os.sep,
+    "benchmarks" + os.sep,
+)
+
+
+def check_pagefile_construction(path: str, tree: ast.Module) -> list[str]:
+    """Flag direct ``*PageFile(...)`` construction outside ``repro.storage``.
+
+    Only library code under ``src/repro`` is policed; the storage
+    package, tests, and benchmarks legitimately build raw layers.
+    """
+    norm = path.replace("/", os.sep)
+    if not norm.startswith(os.path.join("src", "repro") + os.sep):
+        return []
+    if any(norm.startswith(prefix) for prefix in PAGEFILE_ALLOWED_PREFIXES):
+        return []
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in PAGEFILE_CLASSES:
+            problems.append(
+                f"{path}:{node.lineno}: direct {name}(...) construction "
+                f"outside repro.storage; use "
+                f"repro.storage.open_pagefile/open_storage instead"
+            )
+    return problems
+
+
 def run_policy_pass(paths) -> int:
     """Repository policy checks that run even when pyflakes is installed."""
     problems: list[str] = []
@@ -165,6 +216,7 @@ def run_policy_pass(paths) -> int:
         except SyntaxError:
             continue  # compileall/pyflakes already reported it
         problems.extend(check_pickle_usage(path, tree))
+        problems.extend(check_pagefile_construction(path, tree))
     for problem in problems:
         print(problem)
     if problems:
