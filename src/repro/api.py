@@ -123,6 +123,9 @@ class Database:
             mode and ``False`` otherwise.
         sync_every:
             WAL fsync batching: fsync the log on every Nth commit.
+            Batched (unsynced) commits stay WAL-only until the next
+            fsync boundary, so an OS crash loses at most the last N−1
+            acknowledged transactions, never part of one.
         overwrite:
             Replace an existing file (and its WAL) instead of raising.
         index_kwargs:

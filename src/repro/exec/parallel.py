@@ -31,8 +31,15 @@ each shard runs under a small resilience policy:
   corrupt backend) **degrades** instead of failing the whole call: its
   queries come back as empty lists, the loss is counted by the
   ``repro_degraded_queries_total{reason=...}`` metric, and callers that
-  pass ``with_flags=True`` receive a per-query completeness mask.
-  Programming errors (bad arguments, etc.) still raise.
+  pass ``with_flags=True`` receive a per-query completeness mask;
+* a worker whose shard *timed out* is **quarantined**: its thread
+  cannot be interrupted and is still running against the worker's
+  private (non-thread-safe) index handle, so later calls skip that
+  worker — resharding across the healthy ones — until the stale task
+  actually finishes.  If every worker is quarantined, the whole call
+  degrades (reason ``quarantined``) rather than risking two threads on
+  one buffer pool.  Programming errors (bad arguments, etc.) still
+  raise.
 
 **Observability caveat.**  The query tracer (:mod:`repro.obs.tracer`)
 is deliberately single-threaded; do not enable tracing around pool
@@ -76,7 +83,9 @@ class ServingPool:
         :meth:`knn`/:meth:`range` call; ``None`` (default) waits
         forever.  A shard that misses the deadline degrades (empty
         results for its queries) — the worker thread itself cannot be
-        interrupted and finishes in the background.
+        interrupted and finishes in the background, during which the
+        worker is quarantined (excluded from later calls) so no second
+        thread ever touches its index handle concurrently.
     read_retries:
         How many times a shard is retried after a
         :class:`~repro.exceptions.TransientIOError` (default 2).
@@ -109,6 +118,9 @@ class ServingPool:
         self._read_retries = read_retries
         self._retry_backoff = retry_backoff
         self._degraded_queries = 0
+        #: worker -> still-running future of a timed-out shard; the
+        #: worker's index handle is off limits until the future is done.
+        self._quarantine: dict[int, object] = {}
         self._indexes = [
             _open_index(path, buffer_capacity, page_cache_capacity)
             for _ in range(workers)
@@ -134,6 +146,14 @@ class ServingPool:
     def degraded_queries(self) -> int:
         """Queries answered with empty (degraded) results so far."""
         return self._degraded_queries
+
+    @property
+    def quarantined_workers(self) -> int:
+        """Workers currently excluded because a timed-out shard of
+        theirs is still executing against their index handle."""
+        return sum(
+            1 for future in self._quarantine.values() if not future.done()
+        )
 
     def knn(self, queries, k: int = 1, *, batched: bool = True,
             block_size: int | None = None, with_flags: bool = False):
@@ -187,17 +207,46 @@ class ServingPool:
                 time.sleep(self._retry_backoff * (2 ** attempt))
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _available_workers(self) -> list[int]:
+        """Workers safe to hand a shard to right now.
+
+        A worker enters quarantine when a shard of its times out: the
+        thread keeps running against the worker's private index handle
+        (buffer pool, page cache — none of it thread-safe), so handing
+        the same handle to a second thread would corrupt it.  The
+        worker is released only once that stale future has actually
+        completed.
+        """
+        available = []
+        for worker in range(len(self._indexes)):
+            stale = self._quarantine.get(worker)
+            if stale is not None:
+                if not stale.done():
+                    continue
+                del self._quarantine[worker]
+            available.append(worker)
+        return available
+
     def _scatter(self, queries: np.ndarray, run, *, with_flags: bool = False):
         if self._closed:
             raise RuntimeError("serving pool is closed")
         n = queries.shape[0]
-        shards = np.array_split(np.arange(n), len(self._indexes))
+        available = self._available_workers()
+        if not available:
+            # Every worker is still grinding through a timed-out shard;
+            # degrade the whole call rather than share their handles.
+            on_degraded("quarantined", n)
+            self._degraded_queries += n
+            empty: list[list[Neighbor]] = [[] for _ in range(n)]
+            return (empty, [False] * n) if with_flags else empty
+        shards = np.array_split(np.arange(n), len(available))
         futures = []
-        for worker, shard in enumerate(shards):
+        for pos, shard in enumerate(shards):
             if shard.size == 0:
                 continue
+            worker = available[pos]
             futures.append(
-                (shard,
+                (worker, shard,
                  self._executor.submit(
                      self._run_with_retries, run, worker, queries[shard]
                  ))
@@ -206,7 +255,7 @@ class ServingPool:
                     else time.monotonic() + self._timeout)
         results: list[list[Neighbor] | None] = [None] * n
         complete = [True] * n
-        for shard, future in futures:
+        for worker, shard, future in futures:
             reason = None
             try:
                 if deadline is None:
@@ -215,7 +264,10 @@ class ServingPool:
                     remaining = max(0.0, deadline - time.monotonic())
                     out = future.result(timeout=remaining)
             except FutureTimeoutError:
-                future.cancel()
+                if not future.cancel():
+                    # Already running and uninterruptible: quarantine
+                    # the worker until the task actually finishes.
+                    self._quarantine[worker] = future
                 reason = "timeout"
             except TransientIOError:
                 reason = "io_error"
@@ -246,9 +298,16 @@ class ServingPool:
         return total
 
     def drop_caches(self) -> None:
-        """Cold-start every worker (empties buffer pools and page caches)."""
-        for index in self._indexes:
-            index.store.drop_cache()
+        """Cold-start every worker (empties buffer pools and page caches).
+
+        Quarantined workers are skipped — their caches are in use by
+        the still-running timed-out task and will be dropped once the
+        worker is released.
+        """
+        available = set(self._available_workers())
+        for worker, index in enumerate(self._indexes):
+            if worker in available:
+                index.store.drop_cache()
 
     def close(self) -> None:
         """Shut the executor down and close every page file handle.

@@ -259,12 +259,19 @@ class SpatialIndex(ABC):
 
         With a WAL: begin, mutate, journal the refreshed metadata,
         commit (flushing every dirty page into the log first), and only
-        then let the images reach the data file.  On *any* failure the
-        transaction is rolled back entirely in memory — dirty buffers
-        dropped, shadowed pages discarded, the index counters restored
-        from a pre-mutation snapshot — so a rejected insert (say, a
+        then let the images reach the data file.  On a failure *before*
+        the WAL commit the transaction is rolled back entirely in
+        memory — dirty buffers dropped, shadowed pages discarded, the
+        index counters restored from a pre-mutation snapshot — so a
+        rejected insert (say, a
         :class:`~repro.exceptions.DimensionalityError`) leaves the index
-        exactly as it was.
+        exactly as it was.  A failure *after* the WAL commit (the store
+        reports itself :attr:`~repro.storage.store.NodeStore.poisoned`)
+        is different: the transaction is durable, so rolling it back in
+        memory would diverge from what recovery will replay — the
+        in-memory state is kept (it *is* the committed state), the
+        store refuses further mutations, and the error propagates;
+        reopening the index replays the WAL and repairs the data file.
         """
         store = self._store
         if store.wal is None:
@@ -277,6 +284,8 @@ class SpatialIndex(ABC):
             store.write_meta(self._meta_dict())
             store.commit_txn()
         except BaseException:
+            if store.poisoned:
+                raise  # durably committed; never roll back in memory
             try:
                 store.abort_txn()
             except Exception:
@@ -527,10 +536,16 @@ class SpatialIndex(ABC):
         return index
 
     def close(self) -> None:
-        """Save and close the backing page file (idempotent)."""
+        """Save and close the backing page file (idempotent).
+
+        A poisoned store (post-commit apply failure) is closed without
+        saving: its metadata is already durable in the WAL, and writing
+        to the diverged data file is exactly what poisoning forbids.
+        """
         if self._store.closed:
             return
-        self.save()
+        if not self._store.poisoned:
+            self.save()
         self._store.close()
 
     @property

@@ -64,10 +64,15 @@ class PageFile(ABC):
 
         WAL recovery replays committed page images into a freshly opened
         backend whose next-id watermark was derived from the (possibly
-        shorter) data file; this admits those pages for writing.
+        shorter) data file; this admits those pages for writing.  The
+        page is also removed from the free list: a replayed page is
+        live, and leaving it free would let a later :meth:`allocate`
+        hand it out and overwrite committed data.
         """
         if page_id >= self._next_id:
             self._next_id = page_id + 1
+        elif page_id in self._free:
+            self._free.remove(page_id)
 
     def _check_id(self, page_id: int) -> None:
         if page_id != META_PAGE_ID and not (0 < page_id < self._next_id):

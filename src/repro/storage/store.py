@@ -65,12 +65,22 @@ class NodeStore:
         #: Optional write-ahead log.  While a transaction is open every
         #: page write is journaled and *shadowed* in memory instead of
         #: reaching the page file; :meth:`commit_txn` makes the shadow
-        #: durable (WAL commit) and then applies it.
+        #: durable (WAL commit) and then applies it — immediately when
+        #: the commit fsynced the log, otherwise at the next fsync
+        #: boundary (the images wait in the pending-apply table so the
+        #: data file never runs ahead of the durable log).
         self.wal = wal
         self._shadow: dict[int, bytes] = {}
         self._shadow_meta: bytes | None = None
         self._txn_freed: list[int] = []
         self._txn_allocated: list[int] = []
+        # Committed-but-unsynced transactions (sync_every > 1): images
+        # that must not touch the data file until the WAL records
+        # covering them are fsynced.
+        self._pending: dict[int, bytes] = {}
+        self._pending_meta: bytes | None = None
+        self._pending_frees: list[int] = []
+        self._poisoned: str | None = None
         self._closed = False
 
     @property
@@ -82,6 +92,31 @@ class NodeStore:
     def has_checksums(self) -> bool:
         """Whether the page stack seals pages with CRC trailers."""
         return isinstance(self.pagefile, ChecksumPageFile)
+
+    @property
+    def poisoned(self) -> bool:
+        """Whether a post-commit apply failure has disabled mutations.
+
+        A transaction that reached its WAL COMMIT is durable; if
+        applying its images to the data file then fails (ENOSPC, EIO,
+        ...), the in-memory state and the data file diverge and *must
+        not* be rolled back — the store poisons itself instead.  Reads
+        keep working (the in-memory state is the committed state), but
+        every further mutation raises until the file is reopened, which
+        replays the WAL and repairs the data file.
+        """
+        return self._poisoned is not None
+
+    def _poison(self, why: str) -> None:
+        self._poisoned = why
+
+    def _require_healthy(self) -> None:
+        if self._poisoned is not None:
+            raise StorageError(
+                "node store is poisoned after a post-commit failure "
+                f"({self._poisoned}); the transaction is durable in the WAL "
+                "but the data file is behind — reopen the index to recover"
+            )
 
     # ------------------------------------------------------------------
     # node construction
@@ -175,16 +210,22 @@ class NodeStore:
         return node
 
     def _read_page_image(self, page_id: int) -> bytes:
-        """One physical page image, honouring the transaction shadow.
+        """One physical page image, honouring shadow and pending tables.
 
         During a transaction the freshest copy of an evicted dirty page
-        lives in the shadow table, not the data file; reading it from
-        there still counts as a physical read (the page *would* have
-        come from disk had the buffer been larger), which preserves the
-        EXPLAIN-pages == ``IOStats.page_reads`` invariant.
+        lives in the shadow table, not the data file; between a batched
+        (unsynced) WAL commit and the next fsync boundary it lives in
+        the pending-apply table.  Reading from either still counts as a
+        physical read (the page *would* have come from disk had the
+        buffer been larger), which preserves the EXPLAIN-pages ==
+        ``IOStats.page_reads`` invariant.
         """
         if self._shadow:
             image = self._shadow.get(page_id)
+            if image is not None:
+                return image
+        if self._pending:
+            image = self._pending.get(page_id)
             if image is not None:
                 return image
         return self.pagefile.read(page_id)
@@ -223,11 +264,21 @@ class NodeStore:
             self._txn_freed.extend(page_ids)
             return
         for page_id in page_ids:
+            self._pending.pop(page_id, None)
             self.pagefile.free(page_id)
 
     def flush(self) -> None:
-        """Write back every dirty buffered node."""
+        """Write back every dirty buffered node.
+
+        Also drains the pending-apply table (after fsyncing the WAL, so
+        log-before-data ordering holds) — after a flush the data file
+        carries every committed transaction.
+        """
+        self._require_healthy()
         self.buffer.flush()
+        if self._has_pending:
+            self.wal.sync()
+            self._apply_pending()
         self.pagefile.sync()
 
     def drop_cache(self) -> None:
@@ -277,6 +328,7 @@ class NodeStore:
             self.wal.log_meta(image)
             self._shadow_meta = image
             return
+        self._require_healthy()
         self.pagefile.write(META_PAGE_ID, image)
         self.pagefile.sync()
 
@@ -284,6 +336,8 @@ class NodeStore:
         """Load the index metadata dict from the reserved meta page."""
         if self._shadow_meta is not None:
             data: bytes = self._shadow_meta
+        elif self._pending_meta is not None:
+            data = self._pending_meta
         else:
             data = self.pagefile.read(META_PAGE_ID)
         try:
@@ -299,6 +353,7 @@ class NodeStore:
         """Open a WAL transaction; page writes shadow until commit."""
         if self.wal is None:
             raise WALError("node store has no write-ahead log attached")
+        self._require_healthy()
         txn_id = self.wal.begin()
         self._shadow.clear()
         self._shadow_meta = None
@@ -310,28 +365,78 @@ class NodeStore:
         """Make the open transaction durable, then apply it.
 
         Sequence: flush dirty buffers (their images land in the WAL and
-        the shadow table), append COMMIT (the durability point), apply
-        the shadow to the data file, release deferred frees, and
-        checkpoint if the log has outgrown its threshold.  A crash after
-        COMMIT but before (or during) the apply is exactly what
-        :func:`~repro.storage.wal.recover` repairs on reopen.
+        the shadow table), append COMMIT (the durability point), move
+        the shadow into the pending-apply table, and — only if the
+        commit fsynced the log (``sync_every`` boundary) — apply every
+        pending image and deferred free to the data file, checkpointing
+        if the log has outgrown its threshold.  Batched (unsynced)
+        commits stay WAL-only until the next fsync boundary, so the
+        data file can never hold pages of a transaction whose COMMIT
+        record the kernel might not have persisted (the write-ahead
+        rule).  A crash after COMMIT but before (or during) the apply
+        is exactly what :func:`~repro.storage.wal.recover` repairs on
+        reopen.
+
+        A failure *before* the COMMIT record is durable rolls back
+        normally; a failure *after* (apply, free, or checkpoint)
+        poisons the store — see :attr:`poisoned` — because the
+        transaction is already committed and must not be undone in
+        memory.
         """
         if not self.in_txn:
             raise WALError("no open transaction")
+        self._require_healthy()
         self.buffer.flush()
-        self.wal.commit()
-        for page_id, image in self._shadow.items():
-            self.pagefile.write(page_id, image)
+        try:
+            synced = self.wal.commit()
+        except BaseException as exc:
+            if not self.wal.in_txn:
+                # The COMMIT record reached the log before the failure
+                # (an fsync error, say): the transaction may already be
+                # durable, so an in-memory rollback could diverge from
+                # what recovery will replay.  Poison instead.
+                self._poison(f"{type(exc).__name__}: {exc}")
+            raise
+        # -- durability point passed: no in-memory rollback below here.
+        self._pending.update(self._shadow)
         if self._shadow_meta is not None:
-            self.pagefile.write(META_PAGE_ID, self._shadow_meta)
-        for page_id in self._txn_freed:
-            self.pagefile.free(page_id)
+            self._pending_meta = self._shadow_meta
+        self._pending_frees.extend(self._txn_freed)
         self._shadow.clear()
         self._shadow_meta = None
         self._txn_freed.clear()
         self._txn_allocated.clear()
-        if self.wal.size() > self.wal.checkpoint_bytes:
-            self.checkpoint()
+        try:
+            if synced:
+                self._apply_pending()
+            if self.wal.size() > self.wal.checkpoint_bytes:
+                self.checkpoint()  # fsyncs the log, so pending drains too
+        except BaseException as exc:
+            self._poison(f"{type(exc).__name__}: {exc}")
+            raise
+
+    @property
+    def _has_pending(self) -> bool:
+        return bool(
+            self._pending or self._pending_frees
+        ) or self._pending_meta is not None
+
+    def _apply_pending(self) -> None:
+        """Apply fsync-covered committed images to the data file.
+
+        Only called once the WAL records covering the pending table are
+        known durable (commit-with-fsync, :meth:`flush`, checkpoint, or
+        close), preserving log-before-data ordering.
+        """
+        for page_id, image in self._pending.items():
+            self.pagefile.write(page_id, image)
+        if self._pending_meta is not None:
+            self.pagefile.write(META_PAGE_ID, self._pending_meta)
+        for page_id in self._pending_frees:
+            self.pagefile.free(page_id)
+        self._pending.clear()
+        self._pending_meta = None
+        self._pending_frees.clear()
 
     def abort_txn(self) -> None:
         """Roll the open transaction back entirely in memory.
@@ -339,8 +444,11 @@ class NodeStore:
         Nothing journaled reaches the data file; dirty buffer frames are
         dropped (not flushed), shadowed images and deferred frees are
         discarded, and pages allocated by the transaction return to the
-        free list.  The caller must restore its own counters (root id,
-        height, size) from a pre-transaction snapshot.
+        free list.  The pending-apply table (earlier *committed*
+        transactions awaiting an fsync boundary) is untouched — those
+        are durable and must survive the abort.  The caller must
+        restore its own counters (root id, height, size) from a
+        pre-transaction snapshot.
         """
         if self.wal is not None and self.wal.in_txn:
             self.wal.abort()
@@ -355,9 +463,21 @@ class NodeStore:
         self._txn_allocated.clear()
 
     def checkpoint(self) -> None:
-        """Fsync the data file, then truncate the WAL."""
+        """Drain pending applies, fsync the data file, truncate the WAL.
+
+        Order matters: the log is fsynced first (making every batched
+        commit durable), then the pending images reach the data file,
+        then the data file is fsynced, and only then is the log
+        truncated — at no point can the data file hold pages the
+        durable log does not cover, and the log is only dropped once
+        the data file no longer needs it.
+        """
         if self.wal is None:
             return
+        self._require_healthy()
+        if self._has_pending:
+            self.wal.sync()
+            self._apply_pending()
         self.pagefile.sync()
         self.wal.truncate()
 
@@ -371,8 +491,20 @@ class NodeStore:
         return self._closed
 
     def close(self) -> None:
-        """Flush everything and close the backing page file (idempotent)."""
+        """Flush everything and close the backing page file (idempotent).
+
+        A poisoned store closes *without* flushing or checkpointing:
+        its in-memory state is suspect and the WAL — which still holds
+        every committed transaction — must survive untruncated so the
+        next open can replay it into the data file.
+        """
         if self._closed:
+            return
+        if self._poisoned is not None:
+            self._closed = True
+            if self.wal is not None:
+                self.wal.close()
+            self.pagefile.close()
             return
         if self.in_txn:  # a caller died mid-transaction: roll back
             self.abort_txn()

@@ -37,7 +37,16 @@ image; BEGIN/COMMIT have empty payloads.
 every acknowledged insert survives an OS crash.  ``sync_every=N`` fsyncs
 every Nth commit: process crashes lose nothing (the OS has the bytes),
 OS crashes may lose up to the last N-1 acknowledged transactions, and
-insert throughput rises accordingly.
+insert throughput rises accordingly.  :meth:`WriteAheadLog.commit`
+returns whether it fsynced so callers can honour the write-ahead rule:
+a batched (unsynced) commit must stay WAL-only — its images may reach
+the data file only once a later commit, :meth:`WriteAheadLog.sync`, or
+checkpoint has made the covering log records durable.  Otherwise the
+kernel could persist data-file pages *before* the COMMIT record, and
+recovery (which discards the torn log tail) would leave a partially
+applied transaction in the data file — structural corruption that page
+checksums cannot see.  :class:`~repro.storage.store.NodeStore`
+implements this by parking batched commits in a pending-apply table.
 """
 
 from __future__ import annotations
@@ -174,11 +183,18 @@ class WriteAheadLog:
         self._require_txn()
         self._append(REC_META, self._txn_id, bytes(image))
 
-    def commit(self) -> None:
+    def commit(self) -> bool:
         """Append the COMMIT record; fsync per the batching policy.
 
-        Once this returns, the transaction is durable: recovery will
-        replay it even if none of its images ever reach the data file.
+        Returns ``True`` when the log was fsynced — this transaction
+        (and every batched one before it) is now durable against OS
+        crashes, so its images may be applied to the data file.
+        Returns ``False`` for a batched commit that is riding a later
+        fsync: the record is flushed (safe against *process* crashes)
+        but callers must keep the transaction WAL-only until a commit
+        that returns ``True``, :meth:`sync`, or a checkpoint covers it,
+        or the data file could run ahead of the durable log (the
+        write-ahead rule).
         """
         self._require_txn()
         self._append(REC_COMMIT, self._txn_id, b"")
@@ -186,12 +202,14 @@ class WriteAheadLog:
         self._records_in_txn = 0
         self._commits_since_sync += 1
         self._file.flush()
-        if self._commits_since_sync >= self._sync_every:
+        synced = self._commits_since_sync >= self._sync_every
+        if synced:
             os.fsync(self._file.fileno())
             self._commits_since_sync = 0
         from ..obs.hooks import on_wal_commit
 
         on_wal_commit()
+        return synced
 
     def abort(self) -> None:
         """Drop the open transaction (its records are never committed)."""
@@ -341,7 +359,11 @@ def recover(pagefile: PageFile, wal_path, *, truncate: bool = True) -> RecoveryR
             report.replayed_meta = True
     pagefile.sync()
     if truncate and (committed or report.discarded_bytes or report.discarded_txns):
-        # Preserve the id watermark so a continuing WAL never reuses ids.
+        # Truncation resets the txn-id sequence: a WAL opened afterwards
+        # rescans an empty file and restarts ids at 1.  That is safe —
+        # the ids only disambiguate records *within* one log, and the
+        # log is now empty — but it does mean ids are not monotonic
+        # across checkpoints.
         with open(wal_path, "r+b") as handle:
             handle.truncate(0)
             handle.flush()

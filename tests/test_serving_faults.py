@@ -102,6 +102,56 @@ def test_slow_shard_times_out_and_degrades(index_path):
     assert DEGRADED_QUERIES.labels(reason="timeout").value == before + 2
 
 
+def test_timed_out_worker_is_quarantined_not_reused(index_path):
+    """After a timeout the worker's thread is still running against its
+    (non-thread-safe) index handle; the next call must reshard across
+    the healthy workers instead of handing the same handle to a second
+    thread."""
+    queries = uniform_dataset(4, DIMS, seed=8)
+    with ServingPool(index_path, workers=2, timeout=0.05) as pool:
+        plan = FaultPlan(slow_read_seconds=0.1)
+        _inject(pool, 0, plan)
+        _, complete = pool.knn(queries, k=K, with_flags=True)
+        assert complete == [False, False, True, True]
+        assert pool.quarantined_workers == 1
+        # Immediately issue another call: worker 0 is skipped, the whole
+        # batch lands on worker 1 and fully succeeds.
+        results, complete = pool.knn(queries, k=K, with_flags=True)
+        assert all(complete)
+        assert all(len(row) == K for row in results)
+
+
+def test_quarantined_worker_is_released_once_its_task_finishes(index_path):
+    import time as _time
+
+    queries = uniform_dataset(2, DIMS, seed=9)
+    with ServingPool(index_path, workers=2, timeout=0.05) as pool:
+        plan = FaultPlan(slow_read_seconds=0.1)
+        _inject(pool, 0, plan)
+        pool.knn(queries, k=K, with_flags=True)
+        assert pool.quarantined_workers == 1
+        deadline = _time.monotonic() + 10.0
+        while pool.quarantined_workers and _time.monotonic() < deadline:
+            _time.sleep(0.02)
+        assert pool.quarantined_workers == 0
+
+
+def test_all_workers_quarantined_degrades_the_whole_call(index_path):
+    queries = uniform_dataset(2, DIMS, seed=10)
+    before = DEGRADED_QUERIES.labels(reason="quarantined").value
+    with ServingPool(index_path, workers=1, timeout=0.05) as pool:
+        plan = FaultPlan(slow_read_seconds=0.1)
+        _inject(pool, 0, plan)
+        _, complete = pool.knn(queries, k=K, with_flags=True)
+        assert complete == [False, False]
+        # The only worker is quarantined: the next call degrades rather
+        # than risking two threads on one buffer pool.
+        results, complete = pool.knn(queries, k=K, with_flags=True)
+        assert results == [[], []]
+        assert complete == [False, False]
+    assert DEGRADED_QUERIES.labels(reason="quarantined").value == before + 2
+
+
 def test_without_flags_degraded_queries_come_back_empty(index_path):
     queries = uniform_dataset(4, DIMS, seed=6)
     with ServingPool(index_path, workers=2, read_retries=0) as pool:

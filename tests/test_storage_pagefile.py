@@ -38,6 +38,21 @@ class TestAllocation:
         pagefile.free(a)
         assert pagefile.allocated_pages == 1
 
+    def test_ensure_allocated_removes_page_from_free_list(self, pagefile):
+        """A WAL-replayed page is live: a later allocate() must never
+        hand it out again and overwrite committed data."""
+        a = pagefile.allocate()
+        pagefile.write(a, b"live")
+        pagefile.free(a)
+        pagefile.ensure_allocated(a)  # replay marks the page live again
+        b = pagefile.allocate()
+        assert b != a
+
+    def test_ensure_allocated_raises_watermark(self, pagefile):
+        pagefile.ensure_allocated(40)
+        pagefile.write(40, b"replayed")  # admitted for writing
+        assert pagefile.allocate() > 40  # never re-issued
+
 
 class TestReadWrite:
     def test_roundtrip(self, pagefile):

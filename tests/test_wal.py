@@ -203,6 +203,24 @@ def test_txn_protocol_errors(log_path):
     wal.close()
 
 
+def test_commit_reports_the_fsync_boundary(log_path):
+    """commit() returns True exactly when it fsynced — the signal the
+    node store uses to keep batched commits off the data file."""
+    wal = WriteAheadLog(log_path, sync_every=3)
+    outcomes = []
+    for _ in range(6):
+        wal.begin()
+        wal.log_page(1, image(b"p"))
+        outcomes.append(wal.commit())
+    wal.close()
+    assert outcomes == [False, False, True, False, False, True]
+
+    wal1 = WriteAheadLog(log_path + ".solo", sync_every=1)
+    wal1.begin()
+    assert wal1.commit() is True  # unbatched: every commit is durable
+    wal1.close()
+
+
 def test_sync_every_batches_fsyncs(log_path, monkeypatch):
     fsyncs = []
     real_fsync = os.fsync
