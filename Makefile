@@ -1,6 +1,6 @@
 # Convenience targets for development and reproduction runs.
 
-.PHONY: install lint test test-crash bench examples all
+.PHONY: install lint test test-crash test-concurrency bench examples all
 
 # Byte-compile everything and run the dependency-free pyflakes-level
 # checker (tools/lint.py upgrades itself to real pyflakes when
@@ -23,6 +23,13 @@ test:
 test-crash:
 	PYTHONPATH=src python -m pytest tests/test_checksums.py tests/test_wal.py \
 	    tests/test_crash_recovery.py tests/test_cli_durability.py -q
+
+# Snapshot isolation under real thread interleaving: unit tests for the
+# epoch/COW layer plus the randomized writer/reader stress harness.
+# faulthandler dumps all stacks if a deadlock eats the hard timeout.
+test-concurrency:
+	timeout -k 10 600 env PYTHONFAULTHANDLER=1 PYTHONPATH=src \
+	    python -m pytest tests/test_snapshots.py tests/test_concurrency.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -22,7 +22,7 @@ See ``examples/`` for complete programs and ``DESIGN.md`` for the
 architecture and the per-experiment index.
 """
 
-from .api import Database
+from .api import Database, Snapshot
 from .exceptions import (
     ChecksumError,
     CrashError,
@@ -92,6 +92,7 @@ __all__ = [
     "SRTree",
     "SRXTree",
     "SSTree",
+    "Snapshot",
     "SpatialIndex",
     "Sphere",
     "StorageError",

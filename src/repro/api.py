@@ -31,6 +31,12 @@ Durability modes:
   with CRC32 trailers; :meth:`Database.open` replays whatever a crash
   left behind.  See ``docs/DURABILITY.md``.
 
+Concurrent reads: :meth:`Database.snapshot` returns a
+:class:`Snapshot` — a read-only handle pinned to the newest *committed*
+epoch.  Queries through a snapshot never observe an in-flight WAL
+transaction's shadow pages or a half-applied commit, even while another
+thread keeps inserting; see ``docs/CONCURRENCY.md``.
+
 The older entry points (``make_index``/``build_index``/``open_index``,
 direct index-class construction) keep working; ``open_index`` warns and
 forwards here.
@@ -47,7 +53,7 @@ from .indexes.factory import (
     resolve_kind,
 )
 
-__all__ = ["Database", "KIND_ALIASES"]
+__all__ = ["Database", "Snapshot", "KIND_ALIASES"]
 
 KIND_ALIASES: dict[str, str] = {
     "sr": "srtree",
@@ -326,6 +332,8 @@ class Database:
             "dims": index.dims,
             "size": index.size,
             "height": index.height,
+            "epoch": index.snapshot_epoch,
+            "snapshot_pins": index.store.snapshot_pins,
             "durability": self.durability,
             "checksums": index.store.has_checksums,
             "page_size": index.layout.page_size,
@@ -362,6 +370,32 @@ class Database:
         self._index.check_invariants()
 
     # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "Snapshot":
+        """A read-only handle pinned to the newest *committed* state.
+
+        The snapshot owns a private buffer pool over the same page
+        file, so it can be queried from another thread while this
+        handle keeps mutating; it sees exactly the committed prefix of
+        the operation history as of its epoch — never an in-flight
+        transaction's shadow pages, never a half-applied commit.
+        Writers pay copy-on-write retention only while snapshots are
+        pinned, so close snapshots (they are context managers) when
+        done, or call :meth:`Snapshot.refresh` to advance one in place.
+
+        Without a WAL the current in-memory state is flushed and
+        published first, so the snapshot reflects every mutation made
+        so far; concurrent *non-WAL* mutation is not a supported
+        regime (see ``docs/CONCURRENCY.md``).
+        """
+        if self._index.store.wal is None:
+            self._index.save()
+        view = self._index.snapshot_view()
+        return Snapshot(view, _token=_CONSTRUCT, _db=self)
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
@@ -384,6 +418,132 @@ class Database:
         where = self._path or _MEMORY
         return (f"Database(kind={self.kind!r}, dims={self.dims}, "
                 f"path={where!r}, durability={self.durability!r}, {status})")
+
+
+class Snapshot:
+    """A read-only view of a :class:`Database` at one committed epoch.
+
+    Created by :meth:`Database.snapshot`, never directly.  Offers the
+    same query surface as the database (:meth:`knn`, :meth:`knn_batch`,
+    :meth:`range`, :meth:`window`, :meth:`lookup`, :meth:`explain`) and
+    guarantees every answer is computed against exactly the committed
+    state at :attr:`epoch`.  Mutation attempts raise
+    :class:`~repro.exceptions.StorageError`.  Use as a context manager
+    (or call :meth:`close`) so the pinned page versions can be
+    reclaimed.
+    """
+
+    def __init__(self, view: SpatialIndex, *, _token: object = None,
+                 _db: "Database | None" = None) -> None:
+        if _token is not _CONSTRUCT:
+            raise TypeError("use Database.snapshot()")
+        self._view = view
+        self._db = _db
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def index(self) -> SpatialIndex:
+        """The underlying epoch-pinned index view."""
+        return self._view
+
+    @property
+    def epoch(self) -> int:
+        """The committed epoch this snapshot reads from."""
+        return self._view.snapshot_epoch
+
+    @property
+    def age(self) -> int:
+        """Committed epochs published since this snapshot was pinned."""
+        return self._view.store.lag
+
+    @property
+    def kind(self) -> str:
+        return self._view.NAME
+
+    @property
+    def dims(self) -> int:
+        return self._view.dims
+
+    @property
+    def size(self) -> int:
+        """Number of points in the pinned committed state."""
+        return self._view.size
+
+    def __len__(self) -> int:
+        return self._view.size
+
+    @property
+    def closed(self) -> bool:
+        return self._view.closed
+
+    # -- queries -------------------------------------------------------
+
+    def knn(self, point, k: int = 1, **kwargs) -> list[Neighbor]:
+        """The ``k`` nearest points of the pinned state, closest first."""
+        return self._view.nearest(point, k=k, **kwargs)
+
+    def knn_batch(self, points, k: int = 1) -> list[list[Neighbor]]:
+        """Batched k-NN over the pinned state."""
+        return self._view.nearest_batch(points, k=k)
+
+    def range(self, point, radius: float) -> list[Neighbor]:
+        """All pinned points within ``radius`` of ``point``."""
+        return self._view.within(point, radius)
+
+    def window(self, low, high) -> list[Neighbor]:
+        """All pinned points inside the box ``[low, high]``."""
+        return self._view.window(low, high)
+
+    def lookup(self, point) -> list[object]:
+        """Exact-match point query against the pinned state."""
+        return self._view.lookup(point)
+
+    def explain(self, point, k: int = 1) -> str:
+        """EXPLAIN one k-NN query, annotated with the pinned epoch."""
+        from .obs import explain as render_explain
+        from .obs import trace
+
+        was_enabled = trace.enabled
+        trace.enable()
+        try:
+            with trace.span("knn", k=k, epoch=self.epoch) as span:
+                self._view.nearest(point, k=k)
+            return render_explain(span)
+        finally:
+            if not was_enabled:
+                trace.disable()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def refresh(self) -> int:
+        """Advance to the newest committed epoch; returns the new epoch.
+
+        Buffered pages that changed across the refreshed range are
+        invalidated, everything else stays warm.
+        """
+        db = self._db
+        if db is not None and not db.closed and db.index.store.wal is None:
+            # Without a WAL nothing publishes epochs on its own: persist
+            # the live handle's state (pages *and* meta) so the refresh
+            # lands on a consistent save point, exactly like snapshot().
+            db.flush()
+        return self._view.refresh_snapshot()
+
+    def close(self) -> None:
+        """Release the epoch pin and private buffers (idempotent)."""
+        self._view.close()
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        status = "closed" if self.closed else f"epoch {self.epoch}"
+        return (f"Snapshot(kind={self.kind!r}, dims={self.dims}, "
+                f"size={self.size}, {status})")
 
 
 _CONSTRUCT = object()

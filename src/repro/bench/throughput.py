@@ -9,7 +9,12 @@ execution modes of :mod:`repro.exec`:
 * ``single``  — a plain ``index.nearest`` loop (the baseline);
 * ``batched`` — :func:`repro.exec.batch_knn`, one traversal per block;
 * ``parallel`` — :class:`repro.exec.ServingPool`, batched blocks across
-  worker threads, each with a private buffer pool.
+  worker threads, each with a private buffer pool;
+* ``mixed``   — the parallel pool serving epoch-pinned snapshot views of
+  a **live** database while a background writer commits inserts through
+  the WAL at ``--writer-qps`` (runs against a scratch copy of the index,
+  so the saved file is untouched).  This measures what snapshot
+  isolation costs under write pressure rather than on a frozen file.
 
 Every mode starts **cold** (fresh index handle, empty caches) and runs
 the same query set against the same page file, so the qps ratios
@@ -31,7 +36,10 @@ import numpy as np
 
 __all__ = ["ThroughputResult", "run_throughput", "sample_queries", "write_json"]
 
-_MODES = ("single", "batched", "parallel")
+_MODES = ("single", "batched", "parallel", "mixed")
+
+#: Default background write rate for the ``mixed`` mode (commits/sec).
+DEFAULT_WRITER_QPS = 50.0
 
 
 @dataclass
@@ -49,6 +57,8 @@ class ThroughputResult:
     buffer_hit_ratio: float
     page_cache_hit_ratio: float
     workers: int = 1
+    writer_qps: float = 0.0       #: requested background write rate (mixed)
+    writer_commits: int = 0       #: WAL commits that landed during the run
 
 
 def sample_queries(index, count: int, seed: int = 0) -> np.ndarray:
@@ -155,6 +165,73 @@ def _run_parallel(path, queries, k, block_size, workers, buffer_capacity,
                        workers=pool.workers)
 
 
+def _run_mixed(path, queries, k, block_size, workers, buffer_capacity,
+               writer_qps):
+    """Serve snapshot-pinned k-NN blocks while a WAL writer commits.
+
+    The saved index is copied to a scratch directory first — the writer
+    genuinely mutates its copy through the WAL while the pool refreshes
+    its workers to each newest committed epoch between blocks.
+    """
+    import os
+    import shutil
+    import tempfile
+    import threading
+
+    from ..api import Database
+    from ..exec import ServingPool
+
+    if writer_qps <= 0:
+        raise ValueError(f"writer_qps must be positive, got {writer_qps}")
+    with tempfile.TemporaryDirectory(prefix="repro-mixed-") as tmp:
+        scratch = os.path.join(tmp, os.path.basename(str(path)))
+        shutil.copy(str(path), scratch)
+        rng = np.random.default_rng(0)
+        lo = queries.min(axis=0)
+        hi = queries.max(axis=0)
+        stop = threading.Event()
+        commits = [0]
+        with Database.open(scratch, durability="wal") as db:
+            interval = 1.0 / writer_qps
+
+            def write_loop():
+                next_t = time.perf_counter()
+                while not stop.is_set():
+                    db.insert(rng.uniform(lo, hi))
+                    commits[0] += 1
+                    next_t += interval
+                    delay = next_t - time.perf_counter()
+                    if delay > 0:
+                        stop.wait(delay)
+
+            writer = threading.Thread(target=write_loop,
+                                      name="repro-mixed-writer")
+            with ServingPool(db, workers=workers,
+                             buffer_capacity=buffer_capacity) as pool:
+                writer.start()
+                try:
+                    before = pool.stats()
+                    samples: list[float] = []
+                    t0 = time.perf_counter()
+                    for start in range(0, len(queries), block_size):
+                        block = queries[start : start + block_size]
+                        b0 = time.perf_counter()
+                        pool.knn(block, k=k, block_size=block_size)
+                        samples.extend(
+                            [(time.perf_counter() - b0) * 1e3] * len(block)
+                        )
+                    wall = time.perf_counter() - t0
+                    delta = pool.stats().since(before)
+                finally:
+                    stop.set()
+                    writer.join()
+                res = _result("mixed", len(queries), k, wall, samples, delta,
+                              workers=pool.workers)
+        res.writer_qps = writer_qps
+        res.writer_commits = commits[0]
+        return res
+
+
 def run_throughput(
     path,
     queries: np.ndarray,
@@ -165,11 +242,13 @@ def run_throughput(
     workers: int = 4,
     buffer_capacity: int | None = None,
     page_cache_capacity: int = 0,
+    writer_qps: float = DEFAULT_WRITER_QPS,
     dataset_info: dict | None = None,
 ) -> dict:
     """Measure every requested mode over the saved index at ``path``.
 
-    Returns the ``BENCH_throughput.json`` document as a dict.
+    ``writer_qps`` only affects the ``mixed`` mode (background commit
+    rate).  Returns the ``BENCH_throughput.json`` document as a dict.
     """
     queries = np.ascontiguousarray(queries, dtype=np.float64)
     results: dict[str, ThroughputResult] = {}
@@ -184,6 +263,9 @@ def run_throughput(
             results[mode] = _run_parallel(path, queries, k, block_size,
                                           workers, buffer_capacity,
                                           page_cache_capacity)
+        elif mode == "mixed":
+            results[mode] = _run_mixed(path, queries, k, block_size,
+                                       workers, buffer_capacity, writer_qps)
         else:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
     doc = {

@@ -155,7 +155,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="number of k-NN queries (default 500)")
     bench.add_argument("-k", type=int, default=21)
     bench.add_argument("--modes", default="single,batched,parallel",
-                       help="comma-separated subset of single,batched,parallel")
+                       help="comma-separated subset of "
+                            "single,batched,parallel,mixed")
     bench.add_argument("--block-size", type=int, default=64,
                        help="queries per traversal block (batched/parallel)")
     bench.add_argument("--workers", type=int, default=4,
@@ -163,6 +164,13 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--page-cache", type=int, default=0, metavar="PAGES",
                        help="raw-image page cache per handle, in pages "
                             "(default 0 = off)")
+    bench.add_argument("--writer-qps", type=float, default=None,
+                       metavar="QPS",
+                       help="mixed-workload mode: serve from snapshot views "
+                            "while a background writer commits this many "
+                            "inserts/sec through the WAL against a scratch "
+                            "copy of the index (implies adding 'mixed' to "
+                            "--modes)")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default="BENCH_throughput.json",
                        help="output JSON path (default BENCH_throughput.json)")
@@ -318,9 +326,16 @@ def _exercise_index(index, *, queries: int, k: int, seed: int) -> None:
 
 
 def _cmd_bench_throughput(args) -> int:
-    from .bench.throughput import run_throughput, sample_queries, write_json
+    from .bench.throughput import (
+        DEFAULT_WRITER_QPS,
+        run_throughput,
+        sample_queries,
+        write_json,
+    )
 
     modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+    if args.writer_qps is not None and "mixed" not in modes:
+        modes = modes + ("mixed",)
     index = _open_index(args.index)
     try:
         k = min(args.k, index.size)
@@ -342,13 +357,18 @@ def _cmd_bench_throughput(args) -> int:
         block_size=args.block_size,
         workers=args.workers,
         page_cache_capacity=args.page_cache,
+        writer_qps=(DEFAULT_WRITER_QPS if args.writer_qps is None
+                    else args.writer_qps),
         dataset_info=info,
     )
     write_json(doc, args.out)
     for mode, res in doc["modes"].items():
-        print(f"{mode:>9}: {res['qps']:10.1f} qps  "
-              f"p50 {res['p50_ms']:.3f} ms  p95 {res['p95_ms']:.3f} ms  "
-              f"{res['page_reads_per_query']:.1f} pages/query")
+        line = (f"{mode:>9}: {res['qps']:10.1f} qps  "
+                f"p50 {res['p50_ms']:.3f} ms  p95 {res['p95_ms']:.3f} ms  "
+                f"{res['page_reads_per_query']:.1f} pages/query")
+        if mode == "mixed":
+            line += f"  ({res['writer_commits']} writer commits)"
+        print(line)
     for name, ratio in doc["speedups"].items():
         print(f"speedup {name}: {ratio:.2f}x")
     print(f"wrote {args.out}")

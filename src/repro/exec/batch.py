@@ -98,6 +98,10 @@ def _knn_block(index, queries: np.ndarray, k: int) -> list[list[Neighbor]]:
     bounds = np.full(nq, np.inf)
     stats = index.stats
     span = trace.active
+    if span is not None and getattr(index, "is_snapshot", False):
+        # Stamp which committed epoch answered this block so EXPLAIN
+        # output from concurrent serving is attributable after the fact.
+        span.labels.setdefault("epoch", index.snapshot_epoch)
     active = np.arange(nq)
     if index.height == 1:
         # Leaf-only structures (a fresh tree, or the linear scan's leaf
@@ -181,6 +185,10 @@ def _range_block(index, queries: np.ndarray, radius: float) -> list[list[Neighbo
     hits: list[list[tuple[float, np.ndarray, object]]] = [[] for _ in range(nq)]
     stats = index.stats
     span = trace.active
+    if span is not None and getattr(index, "is_snapshot", False):
+        # Stamp which committed epoch answered this block so EXPLAIN
+        # output from concurrent serving is attributable after the fact.
+        span.labels.setdefault("epoch", index.snapshot_epoch)
     active = np.arange(nq)
 
     def scan_leaf(node, active) -> None:

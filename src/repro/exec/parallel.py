@@ -1,11 +1,11 @@
-"""Parallel serving over a read-only on-disk index.
+"""Parallel serving over an on-disk index, static or live.
 
-A saved index is immutable on disk, so it can be served by several
-workers at once without coordination: each worker re-opens the page
-file and gets a **private** buffer pool, page cache, and
-:class:`~repro.storage.stats.IOStats` bundle.  Workers are plain
-threads — the hot code is numpy kernels and file reads, both of which
-release the GIL, and thread workers keep the API free of pickling
+In the original (path) mode a saved index is immutable on disk, so it
+can be served by several workers at once without coordination: each
+worker re-opens the page file and gets a **private** buffer pool, page
+cache, and :class:`~repro.storage.stats.IOStats` bundle.  Workers are
+plain threads — the hot code is numpy kernels and file reads, both of
+which release the GIL, and thread workers keep the API free of pickling
 constraints on payload values.
 
 ::
@@ -13,6 +13,20 @@ constraints on payload values.
     with ServingPool("tree.db", workers=4) as pool:
         answers = pool.knn(queries, k=21)        # batched per worker
     print(pool.stats().page_reads)
+
+A pool can also serve a **live** :class:`~repro.api.Database` that
+another thread keeps mutating.  Each worker then owns an epoch-pinned
+:class:`~repro.storage.SnapshotStore` view instead of a separate file
+handle, and at the start of every :meth:`knn`/:meth:`range` call the
+pool atomically refreshes every available worker to one newest
+*committed* epoch — so a whole call is answered from one consistent
+committed prefix of the write history, never from an in-flight WAL
+transaction's shadow pages or a half-applied commit::
+
+    db = Database.open("tree.db", durability="wal")
+    with ServingPool(db, workers=4) as pool:   # snapshot-isolated reads
+        answers = pool.knn(queries, k=21)      # one epoch per call
+    # db stays open; the pool only released its snapshot pins
 
 Queries are sharded contiguously across workers; each worker runs the
 batched engine (:func:`repro.exec.batch.batch_knn`) over its shard, or
@@ -70,14 +84,20 @@ class ServingPool:
 
     Parameters
     ----------
-    path:
-        Page file written by ``index.save()`` / ``repro build``.
+    source:
+        Either a page file written by ``index.save()`` / ``repro build``
+        (path mode: each worker re-opens the file), or an open
+        :class:`~repro.api.Database` (snapshot mode: each worker owns an
+        epoch-pinned read-only view of the live index, refreshed to the
+        newest committed epoch at the start of every call; closing the
+        pool releases the pins but leaves the database open).
     workers:
         Worker count; defaults to ``min(4, cpu_count)``.
     buffer_capacity:
         Per-worker buffer pool frames (``None`` = store default).
     page_cache_capacity:
-        Per-worker raw-image page cache, in pages (0 = off).
+        Per-worker raw-image page cache, in pages (0 = off; ignored in
+        snapshot mode, where workers read through the base store).
     timeout:
         Per-call deadline in seconds shared by all shards of one
         :meth:`knn`/:meth:`range` call; ``None`` (default) waits
@@ -95,7 +115,7 @@ class ServingPool:
 
     def __init__(
         self,
-        path,
+        source,
         *,
         workers: int | None = None,
         buffer_capacity: int | None = None,
@@ -104,7 +124,7 @@ class ServingPool:
         read_retries: int = 2,
         retry_backoff: float = 0.01,
     ) -> None:
-        from ..indexes.factory import _open_index
+        from ..api import Database
 
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
@@ -121,10 +141,21 @@ class ServingPool:
         #: worker -> still-running future of a timed-out shard; the
         #: worker's index handle is off limits until the future is done.
         self._quarantine: dict[int, object] = {}
-        self._indexes = [
-            _open_index(path, buffer_capacity, page_cache_capacity)
-            for _ in range(workers)
-        ]
+        if isinstance(source, Database):
+            self._db = source
+            self._sync_db()
+            self._indexes = [
+                source.index.snapshot_view(buffer_capacity=buffer_capacity)
+                for _ in range(workers)
+            ]
+        else:
+            from ..indexes.factory import _open_index
+
+            self._db = None
+            self._indexes = [
+                _open_index(source, buffer_capacity, page_cache_capacity)
+                for _ in range(workers)
+            ]
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -146,6 +177,17 @@ class ServingPool:
     def degraded_queries(self) -> int:
         """Queries answered with empty (degraded) results so far."""
         return self._degraded_queries
+
+    @property
+    def snapshot_epoch(self) -> int | None:
+        """Committed epoch the workers are pinned at (``None`` in path
+        mode, where the on-disk file is immutable and has no epochs)."""
+        if self._db is None:
+            return None
+        return min(
+            self._indexes[worker].snapshot_epoch
+            for worker in self._available_workers()
+        )
 
     @property
     def quarantined_workers(self) -> int:
@@ -195,6 +237,36 @@ class ServingPool:
 
         return self._scatter(queries, run, with_flags=with_flags)
 
+    def _sync_db(self) -> None:
+        """Make the live database's committed state snapshot-visible.
+
+        WAL commits publish an epoch on their own; without a WAL the
+        store only reaches a consistent on-"disk" state (pages *and*
+        meta) after a save, so force one before workers pin.
+        """
+        if self._db.index.store.wal is None:
+            self._db.flush()
+
+    def _refresh_workers(self, available: list[int]) -> None:
+        """Atomically move every available worker to one committed epoch.
+
+        The target epoch is pinned *once* up front so it cannot be
+        garbage-collected while the workers hop over one at a time; the
+        extra pin is dropped once they all arrived.  Quarantined workers
+        are left behind on their old epoch — their pin keeps it alive —
+        and catch up when they rejoin.
+        """
+        self._sync_db()
+        store = self._db.index.store
+        target = store.pin_snapshot()
+        try:
+            for worker in available:
+                view = self._indexes[worker]
+                if view.snapshot_epoch != target:
+                    view.refresh_snapshot(target)
+        finally:
+            store.release_snapshot(target)
+
     def _run_with_retries(self, run, worker: int, shard: np.ndarray):
         """Invoke one shard, retrying transient I/O faults with backoff."""
         attempts = self._read_retries + 1
@@ -224,6 +296,12 @@ class ServingPool:
                 if not stale.done():
                     continue
                 del self._quarantine[worker]
+                # The stale task ran to completion against this handle,
+                # possibly after the disk misbehaved mid-read and while
+                # drop_caches() was skipping the worker; anything it
+                # left in the private buffer pool / page cache is
+                # suspect, so cold-start the handle before it serves.
+                self._indexes[worker].store.drop_cache()
             available.append(worker)
         return available
 
@@ -231,6 +309,11 @@ class ServingPool:
         if self._closed:
             raise RuntimeError("serving pool is closed")
         n = queries.shape[0]
+        if n == 0:
+            # Nothing to serve: an empty block is trivially complete —
+            # it must not count as degraded even with every worker
+            # quarantined.
+            return ([], []) if with_flags else []
         available = self._available_workers()
         if not available:
             # Every worker is still grinding through a timed-out shard;
@@ -239,6 +322,8 @@ class ServingPool:
             self._degraded_queries += n
             empty: list[list[Neighbor]] = [[] for _ in range(n)]
             return (empty, [False] * n) if with_flags else empty
+        if self._db is not None:
+            self._refresh_workers(available)
         shards = np.array_split(np.arange(n), len(available))
         futures = []
         for pos, shard in enumerate(shards):
@@ -310,10 +395,12 @@ class ServingPool:
                 index.store.drop_cache()
 
     def close(self) -> None:
-        """Shut the executor down and close every page file handle.
+        """Shut the executor down and close every worker handle.
 
-        The index is read-only here, so nothing is written back — the
-        store just releases its (clean) buffers and file descriptors.
+        The index is read-only here, so nothing is written back — in
+        path mode each store releases its (clean) buffers and file
+        descriptor; in snapshot mode each view releases its epoch pin
+        while the underlying database stays open.
         """
         if self._closed:
             return

@@ -15,9 +15,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..exceptions import EmptyIndexError
+from ..exceptions import EmptyIndexError, StorageError
 from ..geometry import as_point
-from ..obs.hooks import observed_query, on_flush
+from ..obs.hooks import (
+    observed_query,
+    on_epoch_published,
+    on_flush,
+    on_snapshot_refresh,
+)
 from ..storage import (
     DEFAULT_BUFFER_CAPACITY,
     DEFAULT_LEAF_DATA_SIZE,
@@ -292,6 +297,7 @@ class SpatialIndex(ABC):
                 pass  # never mask the original failure
             self._restore_mutation_snapshot(snapshot)
             raise
+        on_epoch_published(self.NAME, store.epoch)
 
     def _mutation_snapshot(self):
         """Index-level counters to restore if a transaction aborts."""
@@ -535,14 +541,99 @@ class SpatialIndex(ABC):
         index._restore_extra(meta)
         return index
 
+    # ------------------------------------------------------------------
+    # snapshots (epoch-pinned read-only views)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_snapshot(self) -> bool:
+        """Whether this handle is an epoch-pinned read-only view."""
+        return getattr(self._store, "is_snapshot", False)
+
+    @property
+    def snapshot_epoch(self) -> int:
+        """The epoch this handle reads from.
+
+        For a snapshot view this is its pinned epoch; for a live index
+        it is the newest committed epoch the store has published.
+        """
+        return self._store.epoch
+
+    def snapshot_view(self, epoch: int | None = None,
+                      buffer_capacity: int | None = None) -> "SpatialIndex":
+        """A read-only view of this index pinned at a committed epoch.
+
+        The view shares the page file but owns a private buffer pool
+        and stats bundle, so it is safe to query from another thread
+        while this handle keeps committing WAL transactions — it sees
+        exactly the committed state at its epoch, never shadow-table or
+        pending-apply partial state.  ``epoch=None`` pins the newest
+        committed epoch.  Close the view (or the
+        :class:`~repro.api.Snapshot` facade wrapping it) to release the
+        pin; use :meth:`refresh_snapshot` to advance it in place.
+        """
+        from ..storage import open_snapshot_store
+
+        if self.is_snapshot:
+            raise StorageError(
+                "cannot snapshot a snapshot view; call snapshot_view() "
+                "on the live index"
+            )
+        store = open_snapshot_store(self._store, epoch,
+                                    buffer_capacity=buffer_capacity)
+        try:
+            meta = store.read_meta()
+        except BaseException:
+            store.close()
+            raise
+        cls = type(self)
+        view = cls.__new__(cls)
+        view._layout = self._layout
+        view._store = store
+        view._config = self._config
+        view._root_id = meta["root_id"]
+        view._height = meta["height"]
+        view._size = meta["size"]
+        view._restore_extra(meta)
+        return view
+
+    def refresh_snapshot(self, epoch: int | None = None) -> int:
+        """Advance a snapshot view to a newer committed epoch, in place.
+
+        Re-pins the underlying :class:`~repro.storage.SnapshotStore`
+        (``epoch=None`` means the newest committed epoch), reloads the
+        root/height/size counters from that epoch's metadata, and
+        returns the new epoch.  Only valid on a view returned by
+        :meth:`snapshot_view`.
+        """
+        store = self._store
+        if not self.is_snapshot:
+            raise StorageError(
+                "refresh_snapshot() only applies to snapshot views"
+            )
+        age = store.lag  # staleness being caught up, for the metric
+        store.refresh_to(epoch)
+        meta = store.read_meta()
+        self._root_id = meta["root_id"]
+        self._height = meta["height"]
+        self._size = meta["size"]
+        self._restore_extra(meta)
+        on_snapshot_refresh(self.NAME, age)
+        return store.epoch
+
     def close(self) -> None:
         """Save and close the backing page file (idempotent).
 
-        A poisoned store (post-commit apply failure) is closed without
+        A snapshot view merely releases its epoch pin and private
+        buffers; the writer's store and page file stay open.  A
+        poisoned store (post-commit apply failure) is closed without
         saving: its metadata is already durable in the WAL, and writing
         to the diverged data file is exactly what poisoning forbids.
         """
         if self._store.closed:
+            return
+        if self.is_snapshot:
+            self._store.close()
             return
         if not self._store.poisoned:
             self.save()

@@ -127,7 +127,7 @@ def explain(span: Span) -> str:
     fetches = pages + hits
     hit_pct = (100.0 * hits / (hits + pages)) if fetches else 0.0
 
-    labels = "".join(f"{k}={v}" for k, v in span.labels.items())
+    labels = ", ".join(f"{k}={v}" for k, v in span.labels.items())
     title = f"EXPLAIN {span.name}" + (f"{{{labels}}}" if labels else "")
 
     lines = [f"{title} — {span.wall_ms:.2f} ms"]

@@ -45,6 +45,8 @@ __all__ = [
     "on_wal_commit",
     "on_wal_recovery",
     "on_degraded",
+    "on_epoch_published",
+    "on_snapshot_refresh",
 ]
 
 _enabled = os.environ.get("REPRO_OBS_METRICS", "1") != "0"
@@ -167,6 +169,22 @@ DEGRADED_QUERIES = REGISTRY.counter(
     "repro_degraded_queries_total",
     "Queries answered with partial results after a shard failure",
     ("reason",),
+)
+SNAPSHOT_EPOCH = REGISTRY.gauge(
+    "repro_snapshot_epoch",
+    "Newest committed epoch published by the store",
+    ("index_kind",),
+)
+SNAPSHOT_REFRESHES = REGISTRY.counter(
+    "repro_snapshot_refreshes_total",
+    "Snapshot handles re-pinned to a newer committed epoch",
+    ("index_kind",),
+)
+SNAPSHOT_AGE = REGISTRY.gauge(
+    "repro_snapshot_age_epochs",
+    "Epochs the most recently refreshed snapshot was behind the newest "
+    "commit when it refreshed (0 = it was already current)",
+    ("index_kind",),
 )
 
 
@@ -391,3 +409,18 @@ def on_degraded(reason: str, n: int = 1) -> None:
     if not _enabled or n <= 0:
         return
     DEGRADED_QUERIES.labels(reason=reason).inc(n)
+
+
+def on_epoch_published(index_kind: str, epoch: int) -> None:
+    """Record the newest committed epoch after a publish point."""
+    if not _enabled:
+        return
+    SNAPSHOT_EPOCH.labels(index_kind=index_kind).set(epoch)
+
+
+def on_snapshot_refresh(index_kind: str, age: int) -> None:
+    """Record one snapshot refresh and its post-refresh age in epochs."""
+    if not _enabled:
+        return
+    SNAPSHOT_REFRESHES.labels(index_kind=index_kind).inc()
+    SNAPSHOT_AGE.labels(index_kind=index_kind).set(age)

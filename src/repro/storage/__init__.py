@@ -22,6 +22,7 @@ from .nodes import InternalNode, LeafNode
 from .pagecache import PageCache
 from .pagefile import FilePageFile, InMemoryPageFile, PageFile
 from .serializer import NodeCodec, load_meta_prefix, peek_meta_geometry
+from .snapshot import SnapshotStore, open_snapshot_store
 from .stack import open_pagefile, open_storage, wal_path
 from .stats import IOStats
 from .store import DEFAULT_BUFFER_CAPACITY, NodeStore
@@ -54,9 +55,11 @@ __all__ = [
     "PageCache",
     "PageFile",
     "RecoveryReport",
+    "SnapshotStore",
     "WriteAheadLog",
     "load_meta_prefix",
     "open_pagefile",
+    "open_snapshot_store",
     "open_storage",
     "open_wal",
     "peek_meta_geometry",

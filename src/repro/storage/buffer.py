@@ -14,6 +14,12 @@ this pool, which also splits them by tree level.
 Frames can be *pinned* while a tree operation holds a reference to the
 node object; pinned frames are never evicted, so in-flight mutations are
 never lost to a concurrent eviction + re-read.
+
+The pool is **not** thread-safe and is deliberately outside the
+``NodeStore`` snapshot lock: a live store's pool is the writer's private
+cache, and each epoch-pinned :class:`~repro.storage.snapshot.SnapshotStore`
+owns a private pool of its own, so reader and writer threads never share
+frames (``docs/CONCURRENCY.md``).
 """
 
 from __future__ import annotations

@@ -15,7 +15,12 @@ then catches — instead of producing a validly-sealed corrupt page.
 outside the storage package (``tools/lint.py`` rejects direct
 ``FilePageFile(...)`` construction elsewhere in ``repro``), and
 :func:`open_storage` adds WAL recovery on top for the common
-open-an-existing-index path.
+open-an-existing-index path.  The same lint rule confines direct
+``NodeStore``/``SnapshotStore`` construction to the storage and
+execution layers: read-only views over a live store come from
+:func:`~repro.storage.snapshot.open_snapshot_store` (or
+``index.snapshot_view()`` / ``Database.snapshot()`` above it), which
+pin a committed epoch before reading anything.
 """
 
 from __future__ import annotations

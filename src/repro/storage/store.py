@@ -5,11 +5,29 @@ store owns the physical read/write counters that the benchmarks report,
 splitting them into node-level and leaf-level transfers (Figure 14 of
 the paper), and exposes pinning so tree operations can hold node objects
 across buffer evictions safely.
+
+**Snapshot isolation.**  The store also publishes an *epoch* — a counter
+of committed states — and retains copy-on-write images of committed
+pages while any snapshot is pinned at an older epoch.  A
+:class:`~repro.storage.snapshot.SnapshotStore` pins an epoch and reads
+exclusively from it: first the retained version chain, then the
+pending-apply table, then the page file, never the uncommitted shadow
+table of an in-flight transaction.  In WAL mode the epoch advances at
+every ``commit_txn`` durability point; without a WAL,
+:meth:`publish_epoch` advances it explicitly (snapshot creation does
+this, flushing dirty buffers first).  All page-file access and all
+version bookkeeping is serialized on one re-entrant lock so snapshot
+readers in other threads can share the file handle with the single
+writer; buffer-pool hits never touch the lock, keeping the
+single-threaded fast path unchanged.  See ``docs/CONCURRENCY.md``.
 """
 
 from __future__ import annotations
 
-from ..exceptions import StorageError, WALError
+import threading
+from bisect import bisect_left, bisect_right
+
+from ..exceptions import PageNotFoundError, StorageError, WALError
 from ..obs.tracer import trace
 from .buffer import BufferPool
 from .checksums import ChecksumPageFile
@@ -28,6 +46,14 @@ Node = LeafNode | InternalNode
 
 DEFAULT_BUFFER_CAPACITY = 512
 """Default buffer pool size in frames (4 MiB of 8 KiB pages)."""
+
+CHANGE_LOG_EPOCHS = 64
+"""How many epochs of changed-page sets the store remembers.
+
+Snapshot refreshes use the change log to invalidate only the pages that
+moved between the old and new epoch; a refresh spanning more epochs than
+the log covers falls back to dropping the whole (private) buffer pool.
+"""
 
 
 class NodeStore:
@@ -82,6 +108,21 @@ class NodeStore:
         self._pending_frees: list[int] = []
         self._poisoned: str | None = None
         self._closed = False
+        # -- snapshot machinery -----------------------------------------
+        # One re-entrant lock serializes page-file access, the pending
+        # table, and all version/epoch bookkeeping.  Buffer-pool hits
+        # bypass it entirely (the pool is private to the writer thread).
+        self._mu = threading.RLock()
+        self._epoch = 0
+        #: epoch -> number of live snapshot pins at that epoch.
+        self._snapshot_pins: dict[int, int] = {}
+        #: page -> ascending [(epoch, image)]: ``image`` was the
+        #: committed content of the page up to and including ``epoch``.
+        self._versions: dict[int, list[tuple[int, bytes]]] = {}
+        #: epoch e -> pages whose committed content changed when e was
+        #: published (bounded to CHANGE_LOG_EPOCHS entries).
+        self._epoch_changes: dict[int, frozenset[int]] = {}
+        self._dirty_since_publish = False
 
     @property
     def in_txn(self) -> bool:
@@ -119,12 +160,195 @@ class NodeStore:
             )
 
     # ------------------------------------------------------------------
+    # snapshots (epoch-pinned copy-on-write reads)
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The newest committed (published) epoch."""
+        return self._epoch
+
+    @property
+    def snapshot_pins(self) -> int:
+        """Number of live snapshot pins across all epochs."""
+        with self._mu:
+            return sum(self._snapshot_pins.values())
+
+    def publish_epoch(self) -> int:
+        """Flush and advance the epoch (non-WAL stores only).
+
+        WAL stores publish at every ``commit_txn`` durability point;
+        calling this on one (or inside an open transaction) is an error
+        because flushing here would journal half a transaction.  The
+        epoch only advances when something actually changed since the
+        last publish, so repeated snapshot creation over a quiet store
+        keeps one epoch (and retains nothing).
+        """
+        with self._mu:
+            if self.wal is not None or self.in_txn:
+                raise StorageError(
+                    "publish_epoch() is only for stores without a WAL; "
+                    "WAL stores publish at commit_txn()"
+                )
+            self.buffer.flush()
+            if self._dirty_since_publish:
+                self._epoch += 1
+                self._dirty_since_publish = False
+            return self._epoch
+
+    def pin_snapshot(self, epoch: int | None = None) -> int:
+        """Pin a committed epoch so its page images stay readable.
+
+        ``epoch=None`` pins the newest committed epoch (publishing one
+        first on non-WAL stores).  An explicit ``epoch`` must be the
+        current epoch or one that is already pinned — that is how a
+        caller holding one pin transfers other readers onto the same
+        consistent state without racing a concurrent commit.  Returns
+        the pinned epoch; every pin must be paired with
+        :meth:`release_snapshot`.
+        """
+        with self._mu:
+            if epoch is None and self.wal is None and not self._closed:
+                self.publish_epoch()
+            target = self._epoch if epoch is None else int(epoch)
+            if target != self._epoch and target not in self._snapshot_pins:
+                raise StorageError(
+                    f"cannot pin epoch {target}: it is neither the current "
+                    f"epoch ({self._epoch}) nor an already-pinned one, so "
+                    "its page images may no longer be retained"
+                )
+            self._snapshot_pins[target] = self._snapshot_pins.get(target, 0) + 1
+            return target
+
+    def release_snapshot(self, epoch: int) -> None:
+        """Release one pin taken with :meth:`pin_snapshot`."""
+        with self._mu:
+            count = self._snapshot_pins.get(epoch)
+            if count is None:
+                return
+            if count <= 1:
+                del self._snapshot_pins[epoch]
+            else:
+                self._snapshot_pins[epoch] = count - 1
+            self._gc_versions()
+
+    def read_image_at(self, page_id: int, epoch: int) -> bytes:
+        """The committed image of a page as of ``epoch``.
+
+        Resolution order: the retained version chain (first entry whose
+        epoch is >= the snapshot epoch was current then), the
+        pending-apply table (committed but not yet fsync-covered), the
+        page file.  The uncommitted shadow table of an open transaction
+        is deliberately invisible.
+        """
+        with self._mu:
+            versions = self._versions.get(page_id)
+            if versions:
+                keys = [e for e, _ in versions]
+                i = bisect_left(keys, epoch)
+                if i < len(versions):
+                    return versions[i][1]
+            if page_id == META_PAGE_ID and self._pending_meta is not None:
+                return self._pending_meta
+            image = self._pending.get(page_id)
+            if image is not None:
+                return image
+            return self.pagefile.read(page_id)
+
+    def read_meta_at(self, epoch: int) -> dict:
+        """The index metadata dict as of ``epoch``."""
+        data = self.read_image_at(META_PAGE_ID, epoch)
+        try:
+            return unpack_meta(data)
+        except Exception as exc:
+            raise StorageError(
+                f"meta page at epoch {epoch} is corrupt: {exc}"
+            ) from exc
+
+    def changed_pages_between(
+        self, old_epoch: int, new_epoch: int
+    ) -> frozenset[int] | None:
+        """Pages whose committed content differs between two epochs.
+
+        Returns ``None`` when the change log no longer covers the whole
+        range (the caller must then treat every page as changed).
+        """
+        with self._mu:
+            if new_epoch < old_epoch:
+                return None
+            changed: set[int] = set()
+            for e in range(old_epoch + 1, new_epoch + 1):
+                pages = self._epoch_changes.get(e)
+                if pages is None:
+                    return None
+                changed.update(pages)
+            return frozenset(changed)
+
+    def _retain_current_image(self, page_id: int) -> None:
+        """Retain the committed image of a page before it is superseded.
+
+        Called under ``_mu``, keyed at the *current* (pre-bump) epoch,
+        and strictly before the new content reaches the pending table or
+        the page file.  Idempotent per epoch; pages that never had a
+        committed image (fresh allocations) retain nothing.
+        """
+        versions = self._versions.get(page_id)
+        if versions and versions[-1][0] >= self._epoch:
+            return
+        if page_id == META_PAGE_ID and self._pending_meta is not None:
+            image: bytes | None = self._pending_meta
+        else:
+            image = self._pending.get(page_id)
+        if image is None:
+            try:
+                image = self.pagefile.read(page_id)
+            except (PageNotFoundError, StorageError):
+                return
+        if versions is None:
+            versions = self._versions[page_id] = []
+        versions.append((self._epoch, image))
+
+    def _record_epoch_changes(self, changed) -> None:
+        """Log the changed-page set of the epoch just published."""
+        self._epoch_changes[self._epoch] = frozenset(changed)
+        while len(self._epoch_changes) > CHANGE_LOG_EPOCHS:
+            del self._epoch_changes[min(self._epoch_changes)]
+
+    def _gc_versions(self) -> None:
+        """Drop retained images no live snapshot can still read.
+
+        A version entry ``(e, image)`` serves exactly the snapshots
+        pinned in ``(previous_entry_epoch, e]``; entries serving no
+        pinned epoch are dropped, and with no pins at all the whole
+        table empties.
+        """
+        if not self._snapshot_pins:
+            self._versions.clear()
+            return
+        pins = sorted(self._snapshot_pins)
+        dead_pages = []
+        for page_id, versions in self._versions.items():
+            kept = []
+            prev = -1
+            for entry in versions:
+                if bisect_right(pins, entry[0]) > bisect_right(pins, prev):
+                    kept.append(entry)
+                prev = entry[0]
+            if kept:
+                self._versions[page_id] = kept
+            else:
+                dead_pages.append(page_id)
+        for page_id in dead_pages:
+            del self._versions[page_id]
+
+    # ------------------------------------------------------------------
     # node construction
     # ------------------------------------------------------------------
 
     def new_leaf(self) -> LeafNode:
         """Allocate a page and return a fresh empty leaf bound to it."""
-        page_id = self.pagefile.allocate()
+        with self._mu:
+            page_id = self.pagefile.allocate()
         if self.in_txn:
             self._txn_allocated.append(page_id)
         leaf = LeafNode(page_id, self.layout.dims, self.layout.leaf_capacity)
@@ -137,7 +361,9 @@ class NodeStore:
         ``extent > 1`` creates an X-tree-style supernode spanning that
         many pages (see :class:`repro.indexes.srx.SRXTree`).
         """
-        page_id = self.pagefile.allocate()
+        with self._mu:
+            page_id = self.pagefile.allocate()
+            extra_pages = [self.pagefile.allocate() for _ in range(extent - 1)]
         node = InternalNode(
             page_id,
             self.layout.dims,
@@ -147,7 +373,7 @@ class NodeStore:
             has_spheres=self.layout.has_spheres,
             has_weights=self.layout.has_weights,
         )
-        node.extra_pages = [self.pagefile.allocate() for _ in range(extent - 1)]
+        node.extra_pages = extra_pages
         if self.in_txn:
             self._txn_allocated.extend(node.all_page_ids)
         self.buffer.put(node, dirty=True)
@@ -224,11 +450,12 @@ class NodeStore:
             image = self._shadow.get(page_id)
             if image is not None:
                 return image
-        if self._pending:
-            image = self._pending.get(page_id)
-            if image is not None:
-                return image
-        return self.pagefile.read(page_id)
+        with self._mu:
+            if self._pending:
+                image = self._pending.get(page_id)
+                if image is not None:
+                    return image
+            return self.pagefile.read(page_id)
 
     def write(self, node: Node) -> None:
         """Record that ``node`` was mutated (write-back happens lazily)."""
@@ -263,9 +490,15 @@ class NodeStore:
                 self._shadow.pop(page_id, None)
             self._txn_freed.extend(page_ids)
             return
-        for page_id in page_ids:
-            self._pending.pop(page_id, None)
-            self.pagefile.free(page_id)
+        with self._mu:
+            for page_id in page_ids:
+                if self._snapshot_pins:
+                    # The in-memory page file discards content on free,
+                    # so the committed image must be retained first.
+                    self._retain_current_image(page_id)
+                self._pending.pop(page_id, None)
+                self.pagefile.free(page_id)
+            self._dirty_since_publish = True
 
     def flush(self) -> None:
         """Write back every dirty buffered node.
@@ -279,7 +512,8 @@ class NodeStore:
         if self._has_pending:
             self.wal.sync()
             self._apply_pending()
-        self.pagefile.sync()
+        with self._mu:
+            self.pagefile.sync()
 
     def drop_cache(self) -> None:
         """Flush, then empty the buffer pool and the page cache.
@@ -307,7 +541,11 @@ class NodeStore:
                 self.wal.log_page(page_id, chunk)
                 self._shadow[page_id] = chunk
             else:
-                self.pagefile.write(page_id, chunk)
+                with self._mu:
+                    if self._snapshot_pins:
+                        self._retain_current_image(page_id)
+                    self.pagefile.write(page_id, chunk)
+                    self._dirty_since_publish = True
         extent = node.extent
         self.stats.page_writes += extent
         if node.is_leaf:
@@ -329,17 +567,22 @@ class NodeStore:
             self._shadow_meta = image
             return
         self._require_healthy()
-        self.pagefile.write(META_PAGE_ID, image)
-        self.pagefile.sync()
+        with self._mu:
+            if self._snapshot_pins:
+                self._retain_current_image(META_PAGE_ID)
+            self.pagefile.write(META_PAGE_ID, image)
+            self.pagefile.sync()
+            self._dirty_since_publish = True
 
     def read_meta(self) -> dict:
         """Load the index metadata dict from the reserved meta page."""
-        if self._shadow_meta is not None:
-            data: bytes = self._shadow_meta
-        elif self._pending_meta is not None:
-            data = self._pending_meta
-        else:
-            data = self.pagefile.read(META_PAGE_ID)
+        with self._mu:
+            if self._shadow_meta is not None:
+                data: bytes = self._shadow_meta
+            elif self._pending_meta is not None:
+                data = self._pending_meta
+            else:
+                data = self.pagefile.read(META_PAGE_ID)
         try:
             return unpack_meta(data)
         except Exception as exc:
@@ -398,14 +641,30 @@ class NodeStore:
                 self._poison(f"{type(exc).__name__}: {exc}")
             raise
         # -- durability point passed: no in-memory rollback below here.
-        self._pending.update(self._shadow)
-        if self._shadow_meta is not None:
-            self._pending_meta = self._shadow_meta
-        self._pending_frees.extend(self._txn_freed)
-        self._shadow.clear()
-        self._shadow_meta = None
-        self._txn_freed.clear()
-        self._txn_allocated.clear()
+        # Publish the new committed state atomically with respect to
+        # snapshot readers: retain the superseded committed images
+        # (keyed at the pre-bump epoch, captured before the pending
+        # table or the page file is touched), move the shadow into the
+        # pending-apply table, and bump the epoch.
+        with self._mu:
+            changed = set(self._shadow)
+            changed.update(self._txn_freed)
+            if self._shadow_meta is not None:
+                changed.add(META_PAGE_ID)
+            changed.difference_update(self._txn_allocated)
+            if self._snapshot_pins:
+                for page_id in changed:
+                    self._retain_current_image(page_id)
+            self._pending.update(self._shadow)
+            if self._shadow_meta is not None:
+                self._pending_meta = self._shadow_meta
+            self._pending_frees.extend(self._txn_freed)
+            self._shadow.clear()
+            self._shadow_meta = None
+            self._txn_freed.clear()
+            self._txn_allocated.clear()
+            self._epoch += 1
+            self._record_epoch_changes(changed)
         try:
             if synced:
                 self._apply_pending()
@@ -428,15 +687,20 @@ class NodeStore:
         known durable (commit-with-fsync, :meth:`flush`, checkpoint, or
         close), preserving log-before-data ordering.
         """
-        for page_id, image in self._pending.items():
-            self.pagefile.write(page_id, image)
-        if self._pending_meta is not None:
-            self.pagefile.write(META_PAGE_ID, self._pending_meta)
-        for page_id in self._pending_frees:
-            self.pagefile.free(page_id)
-        self._pending.clear()
-        self._pending_meta = None
-        self._pending_frees.clear()
+        # No retention here: these images belong to already-published
+        # epochs, and any older epoch a snapshot still pins was retained
+        # at its commit's publish point.  Retaining now would mislabel
+        # pre-commit content with the current epoch.
+        with self._mu:
+            for page_id, image in self._pending.items():
+                self.pagefile.write(page_id, image)
+            if self._pending_meta is not None:
+                self.pagefile.write(META_PAGE_ID, self._pending_meta)
+            for page_id in self._pending_frees:
+                self.pagefile.free(page_id)
+            self._pending.clear()
+            self._pending_meta = None
+            self._pending_frees.clear()
 
     def abort_txn(self) -> None:
         """Roll the open transaction back entirely in memory.
@@ -458,8 +722,11 @@ class NodeStore:
         self._shadow.clear()
         self._shadow_meta = None
         self._txn_freed.clear()
-        for page_id in reversed(self._txn_allocated):
-            self.pagefile.free(page_id)
+        with self._mu:
+            # Pages allocated by the aborted transaction never had a
+            # committed image, so no retention — just return them.
+            for page_id in reversed(self._txn_allocated):
+                self.pagefile.free(page_id)
         self._txn_allocated.clear()
 
     def checkpoint(self) -> None:
@@ -478,7 +745,8 @@ class NodeStore:
         if self._has_pending:
             self.wal.sync()
             self._apply_pending()
-        self.pagefile.sync()
+        with self._mu:
+            self.pagefile.sync()
         self.wal.truncate()
 
     # ------------------------------------------------------------------

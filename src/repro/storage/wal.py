@@ -21,6 +21,13 @@ undo pass.  A checkpoint (automatic once the log exceeds
 ``checkpoint_bytes``, and on ``close``) fsyncs the data file and
 truncates the log.
 
+The durability point of step 2 is also the store's *publish* point for
+snapshot isolation: ``NodeStore.commit_txn`` bumps the committed epoch
+there, in the same locked section that swaps the transaction's shadow
+pages into the committed pending-apply table — which is why an
+epoch-pinned reader sees either all of a transaction or none of it
+(``docs/CONCURRENCY.md``).
+
 Record format (little endian)::
 
     +--------+------+---------+-------------+-------+-----------+

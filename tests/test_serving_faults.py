@@ -136,6 +136,92 @@ def test_quarantined_worker_is_released_once_its_task_finishes(index_path):
         assert pool.quarantined_workers == 0
 
 
+def test_released_worker_serves_from_cold_caches(index_path):
+    """Regression: a rejoining worker's private caches must be dropped.
+
+    While a worker is quarantined, ``drop_caches()`` deliberately skips
+    it (its caches are in use by the still-running stale task).  On
+    release the pool has to make up for that: whatever the stale task —
+    which timed out against a misbehaving disk — left in the buffer
+    pool is suspect and must not serve the next query."""
+    import time as _time
+
+    queries = uniform_dataset(2, DIMS, seed=12)
+    with ServingPool(index_path, workers=2, timeout=0.05) as pool:
+        plan = FaultPlan(slow_read_seconds=0.1)
+        _inject(pool, 0, plan)
+        pool.knn(queries, k=K, with_flags=True)
+        assert pool.quarantined_workers == 1
+        deadline = _time.monotonic() + 10.0
+        while pool.quarantined_workers and _time.monotonic() < deadline:
+            _time.sleep(0.02)
+        assert pool.quarantined_workers == 0  # the stale task has finished
+        # Clear the injected slowdown and watch the rejoin path: the
+        # next call must drop the worker's caches BEFORE it serves.
+        store = pool._indexes[0].store
+        store.pagefile.plan.slow_read_seconds = 0.0
+        dropped = []
+        original = store.drop_cache
+
+        def recording_drop():
+            dropped.append(True)
+            original()
+
+        store.drop_cache = recording_drop
+        try:
+            results, complete = pool.knn(queries, k=K, with_flags=True)
+        finally:
+            store.drop_cache = original
+        assert dropped, "rejoining worker must cold-start its caches"
+        assert all(complete)
+        assert all(len(row) == K for row in results)
+
+
+def test_empty_query_block_is_complete_and_not_degraded(index_path):
+    """Regression: an empty block must not report incomplete results,
+    even when every worker is quarantined."""
+    empty = np.empty((0, DIMS))
+    before = DEGRADED_QUERIES.labels(reason="quarantined").value
+    with ServingPool(index_path, workers=1, timeout=0.05) as pool:
+        results, complete = pool.knn(empty, k=K, with_flags=True)
+        assert results == [] and complete == []
+        assert pool.range(empty, 0.5) == []
+        assert pool.degraded_queries == 0
+        # Quarantine the only worker, then ask again: still trivially
+        # complete, and the degraded counter must not move.
+        plan = FaultPlan(slow_read_seconds=0.1)
+        _inject(pool, 0, plan)
+        pool.knn(uniform_dataset(2, DIMS, seed=13), k=K)
+        assert pool.quarantined_workers == 1
+        results, complete = pool.knn(empty, k=K, with_flags=True)
+        assert results == [] and complete == []
+    assert DEGRADED_QUERIES.labels(reason="quarantined").value == before
+
+
+def test_flags_stay_aligned_after_resharding_around_quarantine(index_path):
+    """Regression: with a worker quarantined, shards move to different
+    workers — per-query flags and results must stay in input order."""
+    queries = uniform_dataset(9, DIMS, seed=14)
+    with ServingPool(index_path, workers=3, timeout=0.05,
+                     read_retries=0) as pool:
+        # Quarantine worker 0 via a slow shard.
+        plan = FaultPlan(slow_read_seconds=0.1)
+        _inject(pool, 0, plan)
+        _, complete = pool.knn(queries, k=K, with_flags=True)
+        assert complete == [False] * 3 + [True] * 6
+        assert pool.quarantined_workers == 1
+        # Now 9 queries reshard over workers 1 and 2 (5 + 4).  Break
+        # worker 2 permanently: exactly the LAST 4 queries must flag
+        # incomplete — a shard/flag misalignment would shift the window.
+        plan2 = FaultPlan(read_error_pages=(_root_page(pool, 2),),
+                          transient_read_errors=0)
+        _inject(pool, 2, plan2)
+        results, complete = pool.knn(queries, k=K, with_flags=True)
+        assert complete == [True] * 5 + [False] * 4
+        assert all(len(row) == K for row in results[:5])
+        assert results[5:] == [[], [], [], []]
+
+
 def test_all_workers_quarantined_degrades_the_whole_call(index_path):
     queries = uniform_dataset(2, DIMS, seed=10)
     before = DEGRADED_QUERIES.labels(reason="quarantined").value

@@ -205,6 +205,59 @@ def check_pagefile_construction(path: str, tree: ast.Module) -> list[str]:
     return problems
 
 
+#: Index-handle stores that may be constructed from a raw page file /
+#: base store only inside the storage and execution layers: everyone
+#: else must go through ``open_storage`` (live handles) or
+#: ``open_snapshot_store`` / ``index.snapshot_view`` (epoch-pinned
+#: views), so a reader can never observe a torn mix of pre- and
+#: post-commit pages.
+STORE_CLASSES = frozenset({
+    "NodeStore",
+    "SnapshotStore",
+})
+
+#: Where direct store construction is allowed: the storage package
+#: (defines the stores), the execution layer's factory plumbing, and the
+#: index base/factory modules that own handle lifecycle.
+STORE_ALLOWED_PREFIXES = (
+    os.path.join("src", "repro", "storage") + os.sep,
+    os.path.join("src", "repro", "exec") + os.sep,
+    os.path.join("src", "repro", "indexes", "base.py"),
+    os.path.join("src", "repro", "indexes", "factory.py"),
+)
+
+
+def check_store_construction(path: str, tree: ast.Module) -> list[str]:
+    """Flag ``NodeStore``/``SnapshotStore`` construction outside the
+    storage and execution layers.
+
+    Only library code under ``src/repro`` is policed; tests and
+    benchmarks legitimately build raw stores to exercise single layers.
+    """
+    norm = path.replace("/", os.sep)
+    if not norm.startswith(os.path.join("src", "repro") + os.sep):
+        return []
+    if any(norm.startswith(prefix) for prefix in STORE_ALLOWED_PREFIXES):
+        return []
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in STORE_CLASSES:
+            problems.append(
+                f"{path}:{node.lineno}: direct {name}(...) construction "
+                f"outside repro.storage/repro.exec; open handles through "
+                f"repro.storage.open_storage or index.snapshot_view()"
+            )
+    return problems
+
+
 def run_policy_pass(paths) -> int:
     """Repository policy checks that run even when pyflakes is installed."""
     problems: list[str] = []
@@ -217,6 +270,7 @@ def run_policy_pass(paths) -> int:
             continue  # compileall/pyflakes already reported it
         problems.extend(check_pickle_usage(path, tree))
         problems.extend(check_pagefile_construction(path, tree))
+        problems.extend(check_store_construction(path, tree))
     for problem in problems:
         print(problem)
     if problems:
