@@ -1,6 +1,6 @@
 # Convenience targets for development and reproduction runs.
 
-.PHONY: install lint test test-crash test-concurrency bench examples all
+.PHONY: install lint test test-crash test-concurrency bench bench-check examples all
 
 # Byte-compile everything and run the dependency-free pyflakes-level
 # checker (tools/lint.py upgrades itself to real pyflakes when
@@ -37,6 +37,13 @@ bench:
 # Approach the paper's original data-set sizes (slow).
 bench-paper-scale:
 	REPRO_BENCH_SCALE=10 pytest benchmarks/ --benchmark-only
+
+# Gate the committed BENCH_throughput.json: schema sanity (real
+# per-block percentiles, per-worker breakdowns) plus a same-spec
+# re-measurement with a generous tolerance.  CI runs this as a smoke
+# job; --queries keeps it fast.
+bench-check:
+	python tools/bench_check.py --queries 200
 
 examples:
 	python examples/quickstart.py

@@ -107,6 +107,7 @@ class Database:
         sync_every: int = 1,
         overwrite: bool = False,
         fault_plan=None,
+        slo_ms: float | None = None,
         **index_kwargs,
     ) -> "Database":
         """Create a new, empty database.
@@ -134,6 +135,13 @@ class Database:
             acknowledged transactions, never part of one.
         overwrite:
             Replace an existing file (and its WAL) instead of raising.
+        slo_ms:
+            Latency objective for this handle's queries, in
+            milliseconds: queries slower than this count toward
+            ``repro_slo_violations_total{op=...}`` and
+            ``repro_slo_violation_ratio``.  ``None`` (default) defers
+            to the process-wide objective
+            (:func:`repro.obs.hooks.set_slo_ms`).
         index_kwargs:
             Uniform factory keywords — ``page_size``, ``buffer_pages``,
             ``page_cache_bytes``, ``reinsert_fraction``, family extras —
@@ -184,7 +192,10 @@ class Database:
                 sync_every=sync_every,
                 fault_plan=fault_plan,
             )
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
         index = index_cls(dims, pagefile=pagefile, wal=wal, **kwargs)
+        index._slo_ms = slo_ms
         index.save()
         return cls(index, path=file_path, _token=_CONSTRUCT)
 
@@ -198,12 +209,13 @@ class Database:
         buffer_pages: int | None = None,
         page_cache_bytes: int = 0,
         fault_plan=None,
+        slo_ms: float | None = None,
     ) -> "Database":
         """Open an existing database, running WAL recovery first.
 
         The file's own meta page supplies the index kind, geometry, and
         (unless ``durability`` overrides it) the durability mode it was
-        created with.
+        created with.  ``slo_ms`` behaves as in :meth:`create`.
         """
         from .storage import DEFAULT_PAGE_SIZE, load_meta_prefix
 
@@ -218,6 +230,8 @@ class Database:
                     "page_size", DEFAULT_PAGE_SIZE
                 )
             page_cache_capacity = max(0, int(page_cache_bytes) // page_size)
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
         index = _open_index(
             file_path,
             buffer_pages,
@@ -226,6 +240,7 @@ class Database:
             sync_every=sync_every,
             fault_plan=fault_plan,
         )
+        index._slo_ms = slo_ms
         return cls(index, path=file_path, _token=_CONSTRUCT)
 
     # ------------------------------------------------------------------
@@ -269,6 +284,11 @@ class Database:
     def durability(self) -> str:
         """The active durability mode: ``"wal"`` or ``"none"``."""
         return "wal" if self._index.store.wal is not None else "none"
+
+    @property
+    def slo_ms(self) -> float | None:
+        """This handle's latency objective (``None`` = process default)."""
+        return getattr(self._index, "_slo_ms", None)
 
     # ------------------------------------------------------------------
     # mutation

@@ -18,8 +18,13 @@ execution modes of :mod:`repro.exec`:
 
 Every mode starts **cold** (fresh index handle, empty caches) and runs
 the same query set against the same page file, so the qps ratios
-isolate the execution engine.  Results serialize to the
-``BENCH_throughput.json`` schema documented in ``docs/PERFORMANCE.md``::
+isolate the execution engine.  Pool modes get their latency samples
+from the pool's own per-block timing (``knn(..., with_times=True)``) —
+real dispersion across blocks and workers, never a flat ``wall / N``
+average — and attach a ``per_worker`` IOStats breakdown
+(:meth:`~repro.exec.ServingPool.worker_stats`).  Results serialize to
+the ``BENCH_throughput.json`` schema documented in
+``docs/PERFORMANCE.md``::
 
     {"dataset": {...}, "modes": {"single": {"qps": ..., "p50_ms": ...,
      "p95_ms": ..., "page_reads_per_query": ..., ...}, ...},
@@ -30,7 +35,7 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -59,6 +64,9 @@ class ThroughputResult:
     workers: int = 1
     writer_qps: float = 0.0       #: requested background write rate (mixed)
     writer_commits: int = 0       #: WAL commits that landed during the run
+    #: pool modes: per-worker IOStats breakdown (reads, buffer hits,
+    #: quarantine count) so the pool-level ratios are attributable.
+    per_worker: list = field(default_factory=list)
 
 
 def sample_queries(index, count: int, seed: int = 0) -> np.ndarray:
@@ -87,7 +95,8 @@ def _percentiles(samples_ms: list[float]) -> tuple[float, float]:
     return float(np.percentile(arr, 50)), float(np.percentile(arr, 95))
 
 
-def _result(mode, queries, k, wall, samples_ms, stats_delta, workers=1):
+def _result(mode, queries, k, wall, samples_ms, stats_delta, workers=1,
+            per_worker=None):
     return ThroughputResult(
         mode=mode,
         queries=queries,
@@ -100,7 +109,22 @@ def _result(mode, queries, k, wall, samples_ms, stats_delta, workers=1):
         buffer_hit_ratio=stats_delta.hit_ratio,
         page_cache_hit_ratio=stats_delta.page_cache_hit_ratio,
         workers=workers,
+        per_worker=list(per_worker or []),
     )
+
+
+def _expand_block_times(block_times) -> list[float]:
+    """Per-block ``(wall_ms, queries)`` pairs → per-query samples.
+
+    A query's wall time is its block's wall time (the same amortization
+    the batched mode uses), but each *block* keeps its own measured
+    time — so p50 and p95 reflect real dispersion across blocks and
+    workers instead of one flat ``wall/N`` average.
+    """
+    samples: list[float] = []
+    for wall_ms, count in block_times:
+        samples.extend([wall_ms] * count)
+    return samples
 
 
 def _run_single(path, queries, k, buffer_capacity, page_cache_capacity):
@@ -157,12 +181,13 @@ def _run_parallel(path, queries, k, block_size, workers, buffer_capacity,
         pool.drop_caches()
         before = pool.stats()
         t0 = time.perf_counter()
-        pool.knn(queries, k=k, block_size=block_size)
+        _, block_times = pool.knn(queries, k=k, block_size=block_size,
+                                  with_times=True)
         wall = time.perf_counter() - t0
         delta = pool.stats().since(before)
-        amortized = [wall / len(queries) * 1e3] * len(queries)
-        return _result("parallel", len(queries), k, wall, amortized, delta,
-                       workers=pool.workers)
+        samples = _expand_block_times(block_times)
+        return _result("parallel", len(queries), k, wall, samples, delta,
+                       workers=pool.workers, per_worker=pool.worker_stats())
 
 
 def _run_mixed(path, queries, k, block_size, workers, buffer_capacity,
@@ -226,7 +251,8 @@ def _run_mixed(path, queries, k, block_size, workers, buffer_capacity,
                     stop.set()
                     writer.join()
                 res = _result("mixed", len(queries), k, wall, samples, delta,
-                              workers=pool.workers)
+                              workers=pool.workers,
+                              per_worker=pool.worker_stats())
         res.writer_qps = writer_qps
         res.writer_commits = commits[0]
         return res

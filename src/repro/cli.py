@@ -176,6 +176,77 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="output JSON path (default BENCH_throughput.json)")
     bench.set_defaults(handler=_cmd_bench_throughput)
 
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="serve /metrics, /healthz, and /varz over HTTP",
+        description="Opens a saved index and serves the process "
+                    "telemetry endpoints (Prometheus text at /metrics, "
+                    "health at /healthz, JSON state at /varz) until "
+                    "Ctrl-C or --duration elapses.  --queries runs that "
+                    "many cold sample k-NN queries first so the "
+                    "registry and flight recorder have data.",
+    )
+    serve.add_argument("--index", required=True, help="saved index file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9464,
+                       help="listen port (default 9464; 0 = ephemeral)")
+    serve.add_argument("--queries", type=int, default=0,
+                       help="sample k-NN queries to run before serving")
+    serve.add_argument("-k", type=int, default=21)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--slo-ms", type=float, default=None,
+                       help="process-wide latency objective in ms "
+                            "(repro_slo_violations_total)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve this many seconds, then exit "
+                            "(default: until Ctrl-C)")
+    serve.set_defaults(handler=_cmd_serve_metrics)
+
+    slow = sub.add_parser(
+        "slow",
+        help="slowest queries seen by the flight recorder",
+        description="Runs cold sample k-NN queries against a saved "
+                    "index (like 'stats'), then prints the flight "
+                    "recorder's slowest-query table: wall time, pages "
+                    "read split by level, buffer hits, and — for "
+                    "queries tail-sampled after a slow-query breach — "
+                    "whether full trace detail was captured.",
+    )
+    slow.add_argument("--index", required=True, help="saved index file")
+    slow.add_argument("--queries", type=int, default=20,
+                      help="number of sample k-NN queries (default 20)")
+    slow.add_argument("-k", type=int, default=21)
+    slow.add_argument("--seed", type=int, default=0)
+    slow.add_argument("-n", "--top", type=int, default=10,
+                      help="how many of the slowest queries to show")
+    slow.add_argument("--slow-ms", type=float, default=None,
+                      help="flag queries slower than this as slow and "
+                           "arm tail tracing (default 100)")
+    slow.add_argument("--format", choices=("table", "json"),
+                      default="table")
+    slow.set_defaults(handler=_cmd_slow)
+
+    events = sub.add_parser(
+        "events",
+        help="dump the structured event log",
+        description="Prints the in-process event ring as one-line JSON "
+                    "events.  With --index, first exercises the index "
+                    "with cold sample k-NN queries (recording at "
+                    "--level, default debug) so there is something to "
+                    "show.",
+    )
+    events.add_argument("--index", help="saved index file to exercise")
+    events.add_argument("--queries", type=int, default=20,
+                        help="sample k-NN queries to run (default 20)")
+    events.add_argument("-k", type=int, default=21)
+    events.add_argument("--seed", type=int, default=0)
+    events.add_argument("--tail", type=int, default=None, metavar="N",
+                        help="print only the last N events")
+    events.add_argument("--level", default="debug",
+                        choices=("debug", "info", "warn", "error"),
+                        help="minimum level to record and print")
+    events.set_defaults(handler=_cmd_events)
+
     recover = sub.add_parser(
         "recover",
         help="replay a crashed index's write-ahead log",
@@ -323,6 +394,88 @@ def _exercise_index(index, *, queries: int, k: int, seed: int) -> None:
     for point in reservoir[:queries]:
         index.store.drop_cache()
         index.nearest(point, k=k)
+
+
+def _cmd_serve_metrics(args) -> int:
+    from .api import Database
+    from .obs import TelemetryServer
+    from .obs.hooks import set_slo_ms
+
+    if args.slo_ms is not None:
+        set_slo_ms(args.slo_ms)
+    with Database.open(args.index) as db:
+        if args.queries:
+            _exercise_index(db.index, queries=args.queries, k=args.k,
+                            seed=args.seed)
+        with TelemetryServer(host=args.host, port=args.port) as srv:
+            srv.watch_database(db)
+            print(f"serving telemetry for {args.index} at {srv.url}  "
+                  f"(/metrics /healthz /varz) -- Ctrl-C to stop")
+            try:
+                if args.duration is not None:
+                    time.sleep(args.duration)
+                else:
+                    while True:
+                        time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+    return 0
+
+
+def _cmd_slow(args) -> int:
+    from .obs import FLIGHT
+
+    if args.slow_ms is not None:
+        FLIGHT.configure(slow_query_ms=args.slow_ms)
+    index = _open_index(args.index)
+    try:
+        _exercise_index(index, queries=args.queries, k=args.k,
+                        seed=args.seed)
+    finally:
+        index.store.close()
+    slowest = FLIGHT.slowest(args.top)
+    if args.format == "json":
+        print(json.dumps([rec.to_dict() for rec in slowest], indent=2,
+                         sort_keys=True))
+        return 0
+    if not slowest:
+        print("flight recorder is empty (no queries recorded)")
+        return 0
+    print(f"{'qid':>6}  {'op':<14} {'k':>4} {'wall ms':>9} {'pages':>6} "
+          f"{'node':>5} {'leaf':>5} {'bufhit':>6}  flags")
+    for rec in slowest:
+        flags = []
+        if rec.slow:
+            flags.append("slow")
+        if rec.traced:
+            flags.append("traced")
+        print(f"{rec.query_id:>6}  {rec.op:<14} "
+              f"{rec.k if rec.k is not None else '-':>4} "
+              f"{rec.wall_ms:>9.3f} {rec.page_reads:>6} "
+              f"{rec.node_reads:>5} {rec.leaf_reads:>5} "
+              f"{rec.buffer_hits:>6}  {','.join(flags) or '-'}")
+    pct = FLIGHT.percentiles()
+    print(f"-- {FLIGHT.recorded} recorded, {FLIGHT.slow_queries} slow "
+          f"(> {FLIGHT.slow_query_ms} ms); "
+          f"p50 {pct['p50']:.3f} ms  p95 {pct['p95']:.3f} ms  "
+          f"p99 {pct['p99']:.3f} ms")
+    return 0
+
+
+def _cmd_events(args) -> int:
+    from .obs import EVENTS
+
+    EVENTS.configure(min_level=args.level)
+    if args.index:
+        index = _open_index(args.index)
+        try:
+            _exercise_index(index, queries=args.queries, k=args.k,
+                            seed=args.seed)
+        finally:
+            index.store.close()
+    for event in EVENTS.tail(args.tail, level=args.level):
+        print(json.dumps(event, sort_keys=True, default=str))
+    return 0
 
 
 def _cmd_bench_throughput(args) -> int:

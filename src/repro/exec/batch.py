@@ -86,7 +86,7 @@ def batch_knn(index, queries, k: int = 1, *,
     if block_size < 1:
         raise ValueError(f"block_size must be positive, got {block_size}")
     results: list[list[Neighbor]] = []
-    with observed_query(index, "batch_knn"):
+    with observed_query(index, "batch_knn", k):
         for start in range(0, queries.shape[0], block_size):
             results.extend(_knn_block(index, queries[start : start + block_size], k))
     return results

@@ -73,7 +73,12 @@ import numpy as np
 from ..exceptions import StorageError, TransientIOError
 from ..geometry import as_points
 from ..indexes.base import Neighbor
-from ..obs.hooks import on_degraded
+from ..obs.hooks import (
+    on_degraded,
+    on_pool_block,
+    on_worker_quarantined,
+    on_worker_released,
+)
 from ..storage.stats import IOStats
 
 __all__ = ["ServingPool"]
@@ -111,6 +116,12 @@ class ServingPool:
         :class:`~repro.exceptions.TransientIOError` (default 2).
     retry_backoff:
         Base sleep between retries, doubled each attempt (seconds).
+    slo_ms:
+        Per-block latency objective in milliseconds for this pool's
+        calls; blocks slower than this count toward
+        ``repro_slo_violations_total{op="pool_knn"/"pool_range"}``.
+        ``None`` (default) falls back to the process-wide objective
+        (:func:`repro.obs.hooks.set_slo_ms`).
     """
 
     def __init__(
@@ -123,6 +134,7 @@ class ServingPool:
         timeout: float | None = None,
         read_retries: int = 2,
         retry_backoff: float = 0.01,
+        slo_ms: float | None = None,
     ) -> None:
         from ..api import Database
 
@@ -134,13 +146,18 @@ class ServingPool:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if read_retries < 0:
             raise ValueError(f"read_retries must be >= 0, got {read_retries}")
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
         self._timeout = timeout
         self._read_retries = read_retries
         self._retry_backoff = retry_backoff
+        self._slo_ms = slo_ms
         self._degraded_queries = 0
         #: worker -> still-running future of a timed-out shard; the
         #: worker's index handle is off limits until the future is done.
         self._quarantine: dict[int, object] = {}
+        #: worker -> how many times it has entered quarantine.
+        self._quarantine_counts: dict[int, int] = {}
         if isinstance(source, Database):
             self._db = source
             self._sync_db()
@@ -198,7 +215,8 @@ class ServingPool:
         )
 
     def knn(self, queries, k: int = 1, *, batched: bool = True,
-            block_size: int | None = None, with_flags: bool = False):
+            block_size: int | None = None, with_flags: bool = False,
+            with_times: bool = False):
         """The ``k`` nearest neighbors of every query, in input order.
 
         ``batched=True`` (default) runs the block engine per shard;
@@ -208,34 +226,72 @@ class ServingPool:
         With ``with_flags=True``, returns ``(results, complete)`` where
         ``complete[i]`` is ``False`` for queries whose shard degraded
         (timeout or exhausted I/O retries; their results are ``[]``).
+
+        With ``with_times=True``, a list of per-block ``(wall_ms,
+        queries)`` pairs is appended to the return value — the *real*
+        per-block latencies across all workers (one entry per traversal
+        block; per query when ``batched=False``), which is what the
+        throughput benchmark's parallel percentiles are computed from.
+        Blocks replayed by the transient-I/O retry path appear once per
+        attempt.
         """
         from .batch import DEFAULT_BLOCK_SIZE, batch_knn
 
         queries = as_points(queries, self.dims)
         if block_size is None:
             block_size = DEFAULT_BLOCK_SIZE
+        times: list[tuple[float, int]] = []
+        step = block_size if batched else 1
 
         def run(worker: int, shard: np.ndarray) -> list[list[Neighbor]]:
             index = self._indexes[worker]
-            if batched:
-                return batch_knn(index, shard, k, block_size=block_size)
-            return [index.nearest(point, k=k) for point in shard]
+            out: list[list[Neighbor]] = []
+            for start in range(0, len(shard), step):
+                block = shard[start : start + step]
+                b0 = time.perf_counter()
+                if batched:
+                    out.extend(
+                        batch_knn(index, block, k, block_size=block_size)
+                    )
+                else:
+                    out.extend(index.nearest(point, k=k) for point in block)
+                seconds = time.perf_counter() - b0
+                on_pool_block("pool_knn", seconds, self._slo_ms)
+                times.append((seconds * 1e3, len(block)))
+            return out
 
-        return self._scatter(queries, run, with_flags=with_flags)
+        out = self._scatter(queries, run, with_flags=with_flags)
+        if with_times:
+            return (*out, times) if with_flags else (out, times)
+        return out
 
-    def range(self, queries, radius: float, *, with_flags: bool = False):
+    def range(self, queries, radius: float, *, with_flags: bool = False,
+              with_times: bool = False):
         """All stored points within ``radius`` of every query, in input order.
 
-        ``with_flags`` behaves as in :meth:`knn`.
+        ``with_flags`` and ``with_times`` behave as in :meth:`knn`.
         """
-        from .batch import batch_range
+        from .batch import DEFAULT_BLOCK_SIZE, batch_range
 
         queries = as_points(queries, self.dims)
+        times: list[tuple[float, int]] = []
 
         def run(worker: int, shard: np.ndarray) -> list[list[Neighbor]]:
-            return batch_range(self._indexes[worker], shard, radius)
+            index = self._indexes[worker]
+            out: list[list[Neighbor]] = []
+            for start in range(0, len(shard), DEFAULT_BLOCK_SIZE):
+                block = shard[start : start + DEFAULT_BLOCK_SIZE]
+                b0 = time.perf_counter()
+                out.extend(batch_range(index, block, radius))
+                seconds = time.perf_counter() - b0
+                on_pool_block("pool_range", seconds, self._slo_ms)
+                times.append((seconds * 1e3, len(block)))
+            return out
 
-        return self._scatter(queries, run, with_flags=with_flags)
+        out = self._scatter(queries, run, with_flags=with_flags)
+        if with_times:
+            return (*out, times) if with_flags else (out, times)
+        return out
 
     def _sync_db(self) -> None:
         """Make the live database's committed state snapshot-visible.
@@ -302,6 +358,7 @@ class ServingPool:
                 # left in the private buffer pool / page cache is
                 # suspect, so cold-start the handle before it serves.
                 self._indexes[worker].store.drop_cache()
+                on_worker_released(worker)
             available.append(worker)
         return available
 
@@ -353,6 +410,10 @@ class ServingPool:
                     # Already running and uninterruptible: quarantine
                     # the worker until the task actually finishes.
                     self._quarantine[worker] = future
+                    self._quarantine_counts[worker] = (
+                        self._quarantine_counts.get(worker, 0) + 1
+                    )
+                    on_worker_quarantined(worker)
                 reason = "timeout"
             except TransientIOError:
                 reason = "io_error"
@@ -381,6 +442,37 @@ class ServingPool:
         for index in self._indexes:
             total = total + index.stats
         return total
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker I/O breakdown (attributes the pool aggregate).
+
+        One dict per worker: page reads split by level, buffer/page-
+        cache outcomes with the worker's own hit ratios, distance
+        computations, how many times the worker has entered quarantine,
+        and whether it is quarantined right now.  This is what
+        ``bench-throughput`` snapshots into ``per_worker`` so a skewed
+        pool-level ``buffer_hit_ratio`` can be traced to the worker
+        responsible.
+        """
+        out: list[dict] = []
+        for worker, index in enumerate(self._indexes):
+            stats = index.stats
+            stale = self._quarantine.get(worker)
+            out.append({
+                "worker": worker,
+                "page_reads": stats.page_reads,
+                "node_reads": stats.node_reads,
+                "leaf_reads": stats.leaf_reads,
+                "buffer_hits": stats.buffer_hits,
+                "buffer_misses": stats.buffer_misses,
+                "buffer_hit_ratio": stats.hit_ratio,
+                "page_cache_hits": stats.page_cache_hits,
+                "page_cache_misses": stats.page_cache_misses,
+                "distance_computations": stats.distance_computations,
+                "quarantines": self._quarantine_counts.get(worker, 0),
+                "quarantined": stale is not None and not stale.done(),
+            })
+        return out
 
     def drop_caches(self) -> None:
         """Cold-start every worker (empties buffer pools and page caches).

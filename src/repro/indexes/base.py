@@ -118,6 +118,10 @@ class SpatialIndex(ABC):
     HAS_SPHERES = False
     HAS_WEIGHTS = False
 
+    #: Per-handle latency objective (ms); ``Database(slo_ms=...)`` sets
+    #: it, ``None`` defers to :func:`repro.obs.hooks.set_slo_ms`.
+    _slo_ms: float | None = None
+
     def __init__(
         self,
         dims: int,
@@ -373,10 +377,10 @@ class SpatialIndex(ABC):
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         if algorithm == "depth-first":
-            with observed_query(self, "knn"):
+            with observed_query(self, "knn", k):
                 return knn_search(self, as_point(point, self.dims), k)
         if algorithm == "best-first":
-            with observed_query(self, "knn_best_first"):
+            with observed_query(self, "knn_best_first", k):
                 return knn_search_best_first(self, as_point(point, self.dims), k)
         raise ValueError(
             f"unknown algorithm {algorithm!r}; use 'depth-first' or 'best-first'"

@@ -15,7 +15,15 @@ one-off measurements into a first-class layer:
 * :mod:`repro.obs.explain` — replays a recorded span into a readable
   per-level tree walk with pruning efficiency and buffer hit ratios;
 * :mod:`repro.obs.hooks` — the metric catalog and the ``on_*`` hook
-  functions the storage/index/search layers call.
+  functions the storage/index/search layers call;
+* :mod:`repro.obs.events` — the structured event log (``EVENTS``):
+  level-filtered one-line JSON events with per-query ids, ring-buffered
+  and optionally sunk to stderr/a file/a callable;
+* :mod:`repro.obs.flightrec` — the flight recorder (``FLIGHT``): an
+  always-on ring of the last N query records with slow-query tail
+  sampling;
+* :mod:`repro.obs.server` — :class:`TelemetryServer`, the dependency-
+  free HTTP endpoint exposing ``/metrics``, ``/healthz``, ``/varz``.
 
 Quickstart::
 
@@ -34,9 +42,18 @@ See ``docs/OBSERVABILITY.md`` for the metric name catalog and the CLI
 surfaces (``repro stats``, ``repro query --explain``).
 """
 
+from .events import EVENTS, EventLog
 from .explain import ExplainError, explain, level_breakdown
-from .hooks import metrics_enabled, observed_query, set_metrics_enabled
+from .flightrec import FLIGHT, FlightRecorder, QueryRecord
+from .hooks import (
+    metrics_enabled,
+    observed_query,
+    set_metrics_enabled,
+    set_slo_ms,
+    slo_ms,
+)
 from .prometheus import render
+from .server import TelemetryServer
 from .registry import (
     Counter,
     Gauge,
@@ -49,14 +66,20 @@ from .tracer import NodeVisit, PageFetch, Span, Tracer, trace
 
 __all__ = [
     "Counter",
+    "EVENTS",
+    "EventLog",
     "ExplainError",
+    "FLIGHT",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NodeVisit",
     "PageFetch",
+    "QueryRecord",
     "REGISTRY",
     "Span",
+    "TelemetryServer",
     "Tracer",
     "explain",
     "get_registry",
@@ -65,5 +88,7 @@ __all__ = [
     "observed_query",
     "render",
     "set_metrics_enabled",
+    "set_slo_ms",
+    "slo_ms",
     "trace",
 ]

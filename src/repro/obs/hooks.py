@@ -21,8 +21,11 @@ Design constraints:
 from __future__ import annotations
 
 import os
+import threading
 import time
 
+from .events import DEBUG, ERROR, EVENTS, INFO, WARN
+from .flightrec import FLIGHT
 from .registry import (
     DEFAULT_PAGE_BUCKETS,
     DEFAULT_TIME_BUCKETS,
@@ -32,6 +35,8 @@ from .registry import (
 __all__ = [
     "metrics_enabled",
     "set_metrics_enabled",
+    "set_slo_ms",
+    "slo_ms",
     "observed_query",
     "on_incremental_query",
     "on_flush",
@@ -47,6 +52,10 @@ __all__ = [
     "on_degraded",
     "on_epoch_published",
     "on_snapshot_refresh",
+    "on_store_poisoned",
+    "on_worker_quarantined",
+    "on_worker_released",
+    "on_pool_block",
 ]
 
 _enabled = os.environ.get("REPRO_OBS_METRICS", "1") != "0"
@@ -61,6 +70,48 @@ def set_metrics_enabled(flag: bool) -> None:
     """Globally enable/disable the metric hooks (tracing is separate)."""
     global _enabled
     _enabled = bool(flag)
+
+
+# -- latency SLOs -------------------------------------------------------
+
+_slo_ms: float | None = None
+_slo_observed = 0
+_slo_violated = 0
+
+
+def set_slo_ms(ms: float | None) -> None:
+    """Set the process-wide latency objective in milliseconds.
+
+    Queries (and serving-pool blocks) slower than this count toward
+    ``repro_slo_violations_total{op=...}`` and move
+    ``repro_slo_violation_ratio``; ``None`` (the default) disables the
+    check.  :meth:`repro.Database.create`/``open`` accept a per-handle
+    ``slo_ms`` that overrides this global for their own queries.
+    """
+    global _slo_ms
+    if ms is not None and ms <= 0:
+        raise ValueError(f"slo_ms must be positive, got {ms}")
+    _slo_ms = None if ms is None else float(ms)
+
+
+def slo_ms() -> float | None:
+    """The process-wide latency objective (``None`` = unset)."""
+    return _slo_ms
+
+
+def _check_slo(op: str, wall_ms: float, objective_ms: float,
+               query_id: int | None = None) -> None:
+    """Count one operation against a latency objective."""
+    global _slo_observed, _slo_violated
+    _slo_observed += 1
+    if wall_ms > objective_ms:
+        _slo_violated += 1
+        SLO_VIOLATIONS.labels(op=op).inc()
+        EVENTS.emit(
+            "slo_violation", level=WARN, op=op, query_id=query_id,
+            wall_ms=round(wall_ms, 3), slo_ms=objective_ms,
+        )
+    SLO_RATIO.set(_slo_violated / _slo_observed)
 
 
 # ----------------------------------------------------------------------
@@ -186,6 +237,23 @@ SNAPSHOT_AGE = REGISTRY.gauge(
     "commit when it refreshed (0 = it was already current)",
     ("index_kind",),
 )
+SLO_VIOLATIONS = REGISTRY.counter(
+    "repro_slo_violations_total",
+    "Operations that missed the configured latency objective",
+    ("op",),
+)
+SLO_RATIO = REGISTRY.gauge(
+    "repro_slo_violation_ratio",
+    "Fraction of SLO-checked operations that missed the objective "
+    "since process start",
+    (),
+)
+POOL_BLOCK_SECONDS = REGISTRY.histogram(
+    "repro_pool_block_seconds",
+    "Serving-pool per-block wall time (one traversal block on one worker)",
+    ("op",),
+    buckets=DEFAULT_TIME_BUCKETS,
+)
 
 
 # ----------------------------------------------------------------------
@@ -207,13 +275,16 @@ _NULL = _NullObservation()
 
 
 class _QueryObservation:
-    """Measures one query: wall time + IOStats deltas → registry."""
+    """Measures one query: wall time + IOStats deltas → registry,
+    flight recorder, SLO check, and (at DEBUG) start/finish events."""
 
-    __slots__ = ("_index", "_op", "_t0", "_before")
+    __slots__ = ("_index", "_op", "_k", "_t0", "_before", "_qid",
+                 "_span", "_span_cm", "_owns_trace")
 
-    def __init__(self, index, op: str) -> None:
+    def __init__(self, index, op: str, k: int | None = None) -> None:
         self._index = index
         self._op = op
+        self._k = k
 
     def __enter__(self):
         stats = self._index.stats
@@ -228,12 +299,49 @@ class _QueryObservation:
             stats.page_cache_hits,
             stats.page_cache_misses,
         )
+        self._qid = EVENTS.next_query_id()
+        if EVENTS.enabled_for(DEBUG):
+            EVENTS.emit(
+                "query_start", level=DEBUG, query_id=self._qid,
+                op=self._op, index_kind=self._index.NAME, k=self._k,
+            )
+        # Tail sampling: a recent slow query armed the tracer, so this
+        # run is recorded with full per-level trace detail.  Never
+        # fights an explicitly enabled tracer (the span nesting and
+        # ownership would be ambiguous) and never runs off the main
+        # thread (the tracer is process-global and single-threaded).
+        self._span = None
+        self._span_cm = None
+        self._owns_trace = False
+        if FLIGHT.should_trace():
+            from .tracer import trace
+
+            if not trace.enabled:
+                trace.enable()
+                self._owns_trace = True
+                self._span_cm = trace.span(self._op)
+                self._span = self._span_cm.__enter__()
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         elapsed = time.perf_counter() - self._t0
+        levels = None
+        if self._span_cm is not None:
+            self._span_cm.__exit__(exc_type, exc, tb)
+            if self._owns_trace:
+                from .tracer import trace
+
+                trace.disable()
+            if exc_type is None and self._span is not None:
+                from .explain import level_breakdown
+
+                levels = level_breakdown(self._span)
         if exc_type is not None:
+            EVENTS.emit(
+                "query_error", level=WARN, query_id=self._qid,
+                op=self._op, error=exc_type.__name__,
+            )
             return False
         index, op = self._index, self._op
         kind = index.NAME
@@ -241,9 +349,8 @@ class _QueryObservation:
         b = self._before
         QUERIES.labels(index_kind=kind, op=op).inc()
         QUERY_SECONDS.labels(index_kind=kind, op=op).observe(elapsed)
-        QUERY_PAGE_READS.labels(index_kind=kind, op=op).observe(
-            stats.page_reads - b[0]
-        )
+        page_reads = stats.page_reads - b[0]
+        QUERY_PAGE_READS.labels(index_kind=kind, op=op).observe(page_reads)
         node_reads = stats.node_reads - b[1]
         leaf_reads = stats.leaf_reads - b[2]
         if node_reads:
@@ -266,19 +373,54 @@ class _QueryObservation:
         if pc_misses:
             PAGE_CACHE_LOOKUPS.labels(index_kind=kind, outcome="miss").inc(pc_misses)
         NODE_CACHE_HIT_RATIO.labels(index_kind=kind).set(stats.hit_ratio)
+        wall_ms = elapsed * 1e3
+        rec = FLIGHT.record(
+            query_id=self._qid,
+            op=op,
+            index_kind=kind,
+            k=self._k,
+            wall_ms=wall_ms,
+            page_reads=page_reads,
+            node_reads=node_reads,
+            leaf_reads=leaf_reads,
+            buffer_hits=hits,
+            distance_computations=dists,
+            epoch=getattr(index, "snapshot_epoch", None),
+            worker=threading.current_thread().name,
+            levels=levels,
+        )
+        if rec.slow:
+            EVENTS.emit(
+                "slow_query", level=WARN, query_id=self._qid, op=op,
+                index_kind=kind, wall_ms=round(wall_ms, 3),
+                page_reads=page_reads,
+                slow_query_ms=FLIGHT.slow_query_ms, traced=rec.traced,
+            )
+        objective = getattr(index, "_slo_ms", None)
+        if objective is None:
+            objective = _slo_ms
+        if objective is not None:
+            _check_slo(op, wall_ms, objective, query_id=self._qid)
+        if EVENTS.enabled_for(DEBUG):
+            EVENTS.emit(
+                "query_finish", level=DEBUG, query_id=self._qid, op=op,
+                index_kind=kind, wall_ms=round(wall_ms, 3),
+                page_reads=page_reads, buffer_hits=hits,
+            )
         return False
 
 
-def observed_query(index, op: str):
+def observed_query(index, op: str, k: int | None = None):
     """Context manager timing one query and publishing its cost.
 
     ``op`` is one of ``knn``, ``knn_best_first``, ``range``, ``window``,
-    or ``incremental``.  Returns a shared no-op when metrics are
-    disabled.
+    ``incremental``, ``batch_knn``, or ``batch_range``; ``k`` (when the
+    operation has one) rides along into the flight-recorder record.
+    Returns a shared no-op when metrics are disabled.
     """
     if not _enabled:
         return _NULL
-    return _QueryObservation(index, op)
+    return _QueryObservation(index, op, k)
 
 
 def on_incremental_query(index) -> None:
@@ -383,15 +525,18 @@ def on_build(index, points: int, seconds: float) -> None:
     _sync_writes(index)
 
 
-def on_checksum_failure() -> None:
+def on_checksum_failure(page_id: int | None = None) -> None:
     """Record a page failing CRC verification on read."""
+    EVENTS.emit("checksum_failure", level=ERROR, page_id=page_id)
     if not _enabled:
         return
     CHECKSUM_FAILURES.inc()
 
 
-def on_wal_commit() -> None:
+def on_wal_commit(txn_id: int | None = None, synced: bool = True) -> None:
     """Record a transaction committed through the WAL."""
+    if EVENTS.enabled_for(DEBUG):
+        EVENTS.emit("wal_commit", level=DEBUG, txn_id=txn_id, synced=synced)
     if not _enabled:
         return
     WAL_COMMITS.inc()
@@ -399,6 +544,8 @@ def on_wal_commit() -> None:
 
 def on_wal_recovery(txns: int) -> None:
     """Record ``txns`` committed transactions replayed during recovery."""
+    if txns > 0:
+        EVENTS.emit("wal_recovery", level=INFO, replayed_txns=txns)
     if not _enabled or txns <= 0:
         return
     WAL_RECOVERED_TXNS.inc(txns)
@@ -406,13 +553,19 @@ def on_wal_recovery(txns: int) -> None:
 
 def on_degraded(reason: str, n: int = 1) -> None:
     """Record ``n`` queries answered with partial (degraded) results."""
-    if not _enabled or n <= 0:
+    if n <= 0:
+        return
+    EVENTS.emit("degraded_scatter", level=WARN, reason=reason, queries=n)
+    if not _enabled:
         return
     DEGRADED_QUERIES.labels(reason=reason).inc(n)
 
 
 def on_epoch_published(index_kind: str, epoch: int) -> None:
     """Record the newest committed epoch after a publish point."""
+    if EVENTS.enabled_for(DEBUG):
+        EVENTS.emit("epoch_published", level=DEBUG,
+                    index_kind=index_kind, epoch=epoch)
     if not _enabled:
         return
     SNAPSHOT_EPOCH.labels(index_kind=index_kind).set(epoch)
@@ -420,7 +573,43 @@ def on_epoch_published(index_kind: str, epoch: int) -> None:
 
 def on_snapshot_refresh(index_kind: str, age: int) -> None:
     """Record one snapshot refresh and its post-refresh age in epochs."""
+    if EVENTS.enabled_for(DEBUG):
+        EVENTS.emit("snapshot_refresh", level=DEBUG,
+                    index_kind=index_kind, age=age)
     if not _enabled:
         return
     SNAPSHOT_REFRESHES.labels(index_kind=index_kind).inc()
     SNAPSHOT_AGE.labels(index_kind=index_kind).set(age)
+
+
+def on_store_poisoned(why: str) -> None:
+    """Record a store disabling mutations after a post-commit failure."""
+    EVENTS.emit("store_poisoned", level=ERROR, why=why)
+
+
+def on_worker_quarantined(worker: int, reason: str = "timeout") -> None:
+    """Record a serving-pool worker entering quarantine."""
+    EVENTS.emit("worker_quarantined", level=WARN,
+                worker=worker, reason=reason)
+
+
+def on_worker_released(worker: int) -> None:
+    """Record a quarantined serving-pool worker rejoining the rotation."""
+    EVENTS.emit("worker_released", level=INFO, worker=worker)
+
+
+def on_pool_block(op: str, seconds: float,
+                  slo_override_ms: float | None = None) -> None:
+    """Record one serving-pool block: latency histogram + SLO check.
+
+    ``op`` is labelled ``pool_knn``/``pool_range`` so pool blocks are
+    distinguishable from the per-query histograms recorded inside the
+    workers.  ``slo_override_ms`` (the pool's own ``slo_ms``) takes
+    precedence over the process-wide objective.
+    """
+    if not _enabled:
+        return
+    POOL_BLOCK_SECONDS.labels(op=op).observe(seconds)
+    objective = slo_override_ms if slo_override_ms is not None else _slo_ms
+    if objective is not None:
+        _check_slo(op, seconds * 1e3, objective)

@@ -1,0 +1,254 @@
+"""HTTP telemetry endpoint: ``/metrics``, ``/healthz``, ``/varz``.
+
+A dependency-free, threaded :mod:`http.server` that makes the process's
+observability surfaces scrapeable from outside:
+
+* ``/metrics`` — the metrics registry in Prometheus text exposition
+  format, **byte-identical** to ``render(REGISTRY)`` (a stock
+  Prometheus server or ``promtool check metrics`` parses it as-is);
+* ``/healthz`` — ``200 {"status": "ok", ...}`` while every watched
+  handle is serviceable, ``503`` as soon as a watched database's store
+  is poisoned (post-commit apply failure — see ``docs/DURABILITY.md``)
+  or a watched serving pool has **all** workers quarantined (every
+  handle stuck behind a timed-out shard — see ``docs/CONCURRENCY.md``);
+* ``/varz`` — one JSON document: the flattened registry, the flight
+  recorder's summary, the event log's summary, and the snapshot
+  epoch/age of every watched database and pool.
+
+The server binds ``127.0.0.1`` on an ephemeral port by default and
+serves from a daemon thread; it is an operator tool, not a hardened
+public endpoint.  Request handling is quiet — the stock
+``BaseHTTPRequestHandler`` stderr chatter is routed into the event log
+(DEBUG) instead, keeping one logging surface.
+
+::
+
+    from repro.obs import TelemetryServer
+
+    with TelemetryServer(port=0) as srv:
+        srv.watch_database(db)
+        srv.watch_pool(pool)
+        print(srv.url)               # e.g. http://127.0.0.1:49152
+        ...                          # scrape srv.url + "/metrics"
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .events import DEBUG, EVENTS, INFO
+from .flightrec import FLIGHT
+from .prometheus import render
+from .registry import REGISTRY
+
+__all__ = ["TelemetryServer"]
+
+
+class TelemetryServer:
+    """Serve ``/metrics``, ``/healthz``, and ``/varz`` over HTTP.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` (default) picks an ephemeral port,
+        readable from :attr:`port` after :meth:`start`.
+    registry / recorder / events:
+        The surfaces to expose; default to the process-wide
+        ``REGISTRY``/``FLIGHT``/``EVENTS``.
+
+    Health state comes from *watched* handles: :meth:`watch_database`
+    and :meth:`watch_pool` register live objects whose
+    ``store.poisoned`` / ``quarantined_workers`` the ``/healthz``
+    handler polls on every request.  Entering the context manager
+    starts the server; leaving stops it.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 registry=None, recorder=None, events=None) -> None:
+        self._host = host
+        self._port = port
+        self._registry = registry if registry is not None else REGISTRY
+        self._recorder = recorder if recorder is not None else FLIGHT
+        self._events = events if events is not None else EVENTS
+        self._databases: list = []
+        self._pools: list = []
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- watched handles ---------------------------------------------------
+
+    def watch_database(self, db) -> None:
+        """Track a :class:`~repro.api.Database` for health/epoch state."""
+        self._databases.append(db)
+
+    def watch_pool(self, pool) -> None:
+        """Track a :class:`~repro.exec.ServingPool` for health state."""
+        self._pools.append(pool)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve from a daemon thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                server._handle(self)
+
+            def log_message(self, format: str, *args) -> None:
+                # One logging surface: route the stock stderr chatter
+                # into the event log at DEBUG.
+                if server._events.enabled_for(DEBUG):
+                    server._events.emit(
+                        "telemetry_request", level=DEBUG,
+                        detail=format % args,
+                    )
+
+        self._httpd = ThreadingHTTPServer((self._host, self._port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        self._events.emit("telemetry_server_started", level=INFO,
+                          host=self.host, port=self.port)
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._events.emit("telemetry_server_stopped", level=INFO)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- address -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        """Bound host."""
+        if self._httpd is not None:
+            return self._httpd.server_address[0]
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """Bound port (the ephemeral pick once started)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """``http://host:port`` of the running server."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- state assembly (also used directly by tests/CLI) -------------------
+
+    def health(self) -> tuple[bool, dict]:
+        """``(healthy, checks)`` over every watched handle.
+
+        A database fails its check when its store is poisoned; a pool
+        fails when every worker is quarantined.  No watched handles =
+        vacuously healthy (the process is up).
+        """
+        checks: list[dict] = []
+        healthy = True
+        for i, db in enumerate(self._databases):
+            poisoned = bool(db.index.store.poisoned)
+            checks.append({
+                "check": f"database[{i}]",
+                "path": db.path,
+                "ok": not poisoned,
+                "detail": "store poisoned" if poisoned else "serviceable",
+            })
+            healthy &= not poisoned
+        for i, pool in enumerate(self._pools):
+            quarantined = pool.quarantined_workers
+            stuck = pool.workers > 0 and quarantined == pool.workers
+            checks.append({
+                "check": f"pool[{i}]",
+                "workers": pool.workers,
+                "quarantined": quarantined,
+                "ok": not stuck,
+                "detail": ("all workers quarantined" if stuck
+                           else "serviceable"),
+            })
+            healthy &= not stuck
+        return healthy, {
+            "status": "ok" if healthy else "unhealthy",
+            "checks": checks,
+        }
+
+    def varz(self) -> dict:
+        """The ``/varz`` document as a dict."""
+        snapshots: list[dict] = []
+        for i, db in enumerate(self._databases):
+            entry: dict = {"handle": f"database[{i}]", "path": db.path}
+            if not db.closed:
+                entry["epoch"] = db.index.snapshot_epoch
+                entry["snapshot_pins"] = db.index.store.snapshot_pins
+            snapshots.append(entry)
+        for i, pool in enumerate(self._pools):
+            snapshots.append({
+                "handle": f"pool[{i}]",
+                "epoch": pool.snapshot_epoch,
+                "workers": pool.workers,
+                "quarantined": pool.quarantined_workers,
+                "degraded_queries": pool.degraded_queries,
+            })
+        return {
+            "metrics": self._registry.flatten(),
+            "flight_recorder": self._recorder.summary(),
+            "events": self._events.summary(),
+            "snapshots": snapshots,
+        }
+
+    # -- request handling ----------------------------------------------------
+
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = render(self._registry).encode("utf-8")
+            self._respond(request, 200, body,
+                          "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/healthz":
+            healthy, doc = self.health()
+            self._send_json(request, 200 if healthy else 503, doc)
+        elif path == "/varz":
+            self._send_json(request, 200, self.varz())
+        else:
+            self._send_json(request, 404, {
+                "error": f"unknown path {path!r}",
+                "paths": ["/metrics", "/healthz", "/varz"],
+            })
+
+    def _send_json(self, request, status: int, doc: dict) -> None:
+        body = (json.dumps(doc, indent=2, sort_keys=True, default=str)
+                + "\n").encode("utf-8")
+        self._respond(request, status, body, "application/json")
+
+    @staticmethod
+    def _respond(request, status: int, body: bytes,
+                 content_type: str) -> None:
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)

@@ -115,7 +115,7 @@ class ChecksumPageFile(PageFile):
     def _fail(page_id: int, detail: str) -> None:
         from ..obs.hooks import on_checksum_failure
 
-        on_checksum_failure()
+        on_checksum_failure(page_id)
         raise ChecksumError(page_id, detail)
 
     def _discard(self, page_id: int) -> None:  # pragma: no cover - delegated

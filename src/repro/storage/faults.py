@@ -116,7 +116,11 @@ class FaultPlan:
 
     def die(self, where: str) -> None:
         """Mark the plan dead and raise :class:`CrashError`."""
+        from ..obs.events import EVENTS, WARN
+
         self.dead = True
+        EVENTS.emit("fault_injected", level=WARN, fault="crash",
+                    where=where, bytes_written=self.bytes_written)
         raise CrashError(f"simulated crash during {where} "
                          f"(after {self.bytes_written} bytes written)")
 
@@ -135,11 +139,20 @@ class FaultPlan:
         if self.slow_read_seconds > 0.0:
             time.sleep(self.slow_read_seconds)
         if page_id in self.read_error_pages:
+            from ..obs.events import DEBUG, EVENTS
+
             failures = self._read_failures.get(page_id, 0)
             if self.transient_read_errors == 0:
+                if EVENTS.enabled_for(DEBUG):
+                    EVENTS.emit("fault_injected", level=DEBUG, fault="eio",
+                                page_id=page_id, transient=False)
                 raise TransientIOError(f"injected EIO reading page {page_id}")
             if failures < self.transient_read_errors:
                 self._read_failures[page_id] = failures + 1
+                if EVENTS.enabled_for(DEBUG):
+                    EVENTS.emit("fault_injected", level=DEBUG, fault="eio",
+                                page_id=page_id, transient=True,
+                                failure=failures + 1)
                 raise TransientIOError(
                     f"injected transient EIO reading page {page_id} "
                     f"(failure {failures + 1}/{self.transient_read_errors})"

@@ -205,6 +205,14 @@ class SnapshotStore:
         else:
             for page_id in changed:
                 self.buffer.discard(page_id)
+        from ..obs.events import DEBUG, EVENTS
+
+        if EVENTS.enabled_for(DEBUG):
+            EVENTS.emit(
+                "snapshot_repinned", level=DEBUG,
+                old_epoch=old_epoch, new_epoch=new_epoch,
+                invalidated=("all" if changed is None else len(changed)),
+            )
         return new_epoch
 
     # ------------------------------------------------------------------

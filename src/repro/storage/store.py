@@ -149,7 +149,10 @@ class NodeStore:
         return self._poisoned is not None
 
     def _poison(self, why: str) -> None:
+        from ..obs.hooks import on_store_poisoned
+
         self._poisoned = why
+        on_store_poisoned(why)
 
     def _require_healthy(self) -> None:
         if self._poisoned is not None:

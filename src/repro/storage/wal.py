@@ -215,7 +215,7 @@ class WriteAheadLog:
             self._commits_since_sync = 0
         from ..obs.hooks import on_wal_commit
 
-        on_wal_commit()
+        on_wal_commit(txn_id=self._txn_id, synced=synced)
         return synced
 
     def abort(self) -> None:

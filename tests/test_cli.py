@@ -169,3 +169,76 @@ class TestStats:
         assert run("stats", "--format", "text") == 0
         out = capsys.readouterr().out
         assert any(line.startswith("repro_") for line in out.splitlines())
+
+
+@pytest.fixture
+def obs_restore():
+    """Restore global event-log/flight-recorder config the CLI mutates."""
+    from repro.obs import EVENTS, FLIGHT
+
+    prior = (FLIGHT.slow_query_ms, FLIGHT.trace_tail)
+    yield
+    EVENTS.configure(min_level="info")
+    EVENTS.clear()
+    FLIGHT.configure(slow_query_ms=prior[0], trace_tail=prior[1])
+    FLIGHT.reset()
+
+
+class TestTelemetryCommands:
+    @pytest.fixture
+    def index_file(self, tmp_path, data_file):
+        path = tmp_path / "index.srtree"
+        run("build", "--data", data_file, "--out", path)
+        return path
+
+    def test_serve_metrics_runs_for_duration(self, index_file, capsys,
+                                             obs_restore):
+        assert run("serve-metrics", "--index", index_file, "--port", 0,
+                   "--queries", 3, "-k", 3, "--duration", 0.05) == 0
+        out = capsys.readouterr().out
+        assert "serving telemetry" in out
+        assert "http://127.0.0.1:" in out
+
+    def test_slow_table(self, index_file, capsys, obs_restore):
+        assert run("slow", "--index", index_file, "--queries", 5,
+                   "-k", 3, "--top", 3) == 0
+        out = capsys.readouterr().out
+        assert "wall ms" in out
+        assert "recorded" in out and "p95" in out
+        # header + <= 3 rows + summary
+        rows = [line for line in out.splitlines()
+                if line.strip() and not line.startswith(("--", "   qid"))]
+        assert 1 <= len(rows) <= 4
+
+    def test_slow_json_and_slow_ms_threshold(self, index_file, capsys,
+                                             obs_restore):
+        import json as _json
+
+        assert run("slow", "--index", index_file, "--queries", 4,
+                   "-k", 3, "--slow-ms", "0.000001",
+                   "--format", "json") == 0
+        records = _json.loads(capsys.readouterr().out)
+        assert records
+        assert all(rec["slow"] for rec in records)
+        assert all(rec["op"] == "knn" for rec in records)
+
+    def test_events_tail_prints_one_json_per_line(self, index_file, capsys,
+                                                  obs_restore):
+        import json as _json
+
+        assert run("events", "--index", index_file, "--queries", 3,
+                   "-k", 3, "--tail", 10, "--level", "debug") == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(lines) <= 10
+        parsed = [_json.loads(line) for line in lines]
+        assert any(e["event"] == "query_finish" for e in parsed)
+        assert all({"ts", "level", "event"} <= set(e) for e in parsed)
+
+    def test_events_level_filters(self, index_file, capsys, obs_restore):
+        import json as _json
+
+        assert run("events", "--index", index_file, "--queries", 3,
+                   "-k", 3, "--level", "warn") == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        for line in lines:
+            assert _json.loads(line)["level"] in ("warn", "error")

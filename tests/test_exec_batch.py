@@ -164,6 +164,52 @@ class TestServingPool:
             delta = pool.stats().since(before)
         assert delta.page_reads > 0
 
+    def test_with_times_returns_per_block_latencies(self, saved):
+        path, data = saved
+        queries = _queries(data, 20, seed=35)
+        with ServingPool(path, workers=2) as pool:
+            got, times = pool.knn(queries, k=3, block_size=8,
+                                  with_times=True)
+        assert len(got) == len(queries)
+        assert sum(count for _ms, count in times) == len(queries)
+        assert all(ms >= 0 for ms, _count in times)
+        # 20 queries sharded over 2 workers in blocks of <= 8 means at
+        # least 3 blocks were timed independently.
+        assert len(times) >= 3
+
+    def test_with_times_composes_with_flags(self, saved):
+        path, data = saved
+        queries = _queries(data, 6, seed=36)
+        with ServingPool(path, workers=2) as pool:
+            got, complete, times = pool.knn(queries, k=3, with_flags=True,
+                                            with_times=True)
+        assert len(got) == len(complete) == len(queries)
+        assert all(complete)
+        assert sum(count for _ms, count in times) == len(queries)
+
+    def test_range_with_times(self, saved):
+        path, data = saved
+        queries = _queries(data, 6, seed=37)
+        with ServingPool(path, workers=2) as pool:
+            got, times = pool.range(queries, 0.4, with_times=True)
+        assert len(got) == len(queries)
+        assert sum(count for _ms, count in times) == len(queries)
+
+    def test_worker_stats_attributes_io_per_worker(self, saved):
+        path, data = saved
+        with ServingPool(path, workers=2) as pool:
+            pool.drop_caches()
+            pool.knn(data[:16], k=5)
+            stats = pool.worker_stats()
+            aggregate = pool.stats()
+        assert [entry["worker"] for entry in stats] == [0, 1]
+        assert sum(e["page_reads"] for e in stats) == aggregate.page_reads
+        assert sum(e["buffer_hits"] for e in stats) == aggregate.buffer_hits
+        for entry in stats:
+            assert entry["quarantines"] == 0
+            assert entry["quarantined"] is False
+            assert 0.0 <= entry["buffer_hit_ratio"] <= 1.0
+
     def test_closed_pool_rejects_queries(self, saved):
         path, data = saved
         pool = ServingPool(path, workers=1)

@@ -1,0 +1,186 @@
+"""Tests for the structured event log (repro.obs.events)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import events
+from repro.obs.events import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARN,
+    EventLog,
+    level_name,
+    parse_level,
+)
+
+
+class TestLevels:
+    def test_names_round_trip(self):
+        for level in (DEBUG, INFO, WARN, ERROR):
+            assert parse_level(level_name(level)) == level
+
+    def test_parse_accepts_case_insensitive_names(self):
+        assert parse_level("WARN") == WARN
+        assert parse_level("Debug") == DEBUG
+
+    def test_parse_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown event level"):
+            parse_level("verbose")
+
+    def test_ordering(self):
+        assert DEBUG < INFO < WARN < ERROR
+
+
+class TestEmission:
+    def test_emit_rings_event_with_fixed_keys(self):
+        log = EventLog()
+        log.emit("wal_commit", txn_id=7)
+        (event,) = log.tail()
+        assert event["event"] == "wal_commit"
+        assert event["level"] == "info"
+        assert event["txn_id"] == 7
+        assert event["ts"] > 0
+
+    def test_below_min_level_dropped_entirely(self):
+        log = EventLog(min_level=INFO)
+        log.emit("query_start", level=DEBUG, query_id=1)
+        assert log.tail() == []
+        assert log.emitted == 0
+        assert not log.enabled_for(DEBUG)
+        assert log.enabled_for(INFO)
+
+    def test_ring_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("e", i=i)
+        assert [e["i"] for e in log.tail()] == [2, 3, 4]
+        assert log.emitted == 5  # counter is not capped by the ring
+
+    def test_tail_filters_by_count_and_level(self):
+        log = EventLog(min_level=DEBUG)
+        log.emit("a", level=DEBUG)
+        log.emit("b", level=WARN)
+        log.emit("c", level=ERROR)
+        assert [e["event"] for e in log.tail(2)] == ["b", "c"]
+        assert [e["event"] for e in log.tail(level="warn")] == ["b", "c"]
+        assert [e["event"] for e in log.tail(1, level=WARN)] == ["c"]
+
+    def test_next_query_id_monotonic(self):
+        log = EventLog()
+        ids = [log.next_query_id() for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_clear_empties_ring_only(self):
+        log = EventLog()
+        log.emit("x")
+        log.clear()
+        assert log.tail() == []
+        assert log.emitted == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+
+class TestSinks:
+    def test_callable_sink_receives_event_dicts(self):
+        seen: list[dict] = []
+        log = EventLog(sink=seen.append)
+        log.emit("store_poisoned", level=ERROR, why="test")
+        assert seen[0]["event"] == "store_poisoned"
+        assert seen[0]["why"] == "test"
+
+    def test_sink_not_called_below_threshold(self):
+        seen: list[dict] = []
+        log = EventLog(min_level=WARN, sink=seen.append)
+        log.emit("chatty", level=INFO)
+        assert seen == []
+
+    def test_file_sink_writes_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sink=str(path))
+        log.emit("wal_recovery", replayed_txns=3)
+        log.emit("degraded_scatter", level=WARN, reason="timeout")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["replayed_txns"] == 3
+        assert second["level"] == "warn"
+
+    def test_rejects_bad_sink(self):
+        with pytest.raises(ValueError, match="sink"):
+            EventLog(sink=42)
+
+    def test_configure_swaps_sink_and_level(self):
+        seen: list[dict] = []
+        log = EventLog(min_level=WARN)
+        log.configure(sink=seen.append, min_level="debug")
+        log.emit("now_visible", level=DEBUG)
+        assert [e["event"] for e in seen] == ["now_visible"]
+
+    def test_configure_resizes_ring_keeping_newest(self):
+        log = EventLog(capacity=8)
+        for i in range(6):
+            log.emit("e", i=i)
+        log.configure(capacity=2)
+        assert [e["i"] for e in log.tail()] == [4, 5]
+
+    def test_summary_reports_config(self):
+        log = EventLog(capacity=4, min_level="warn")
+        log.emit("boom", level=ERROR)
+        summary = log.summary()
+        assert summary == {
+            "capacity": 4,
+            "ringed": 1,
+            "emitted": 1,
+            "min_level": "warn",
+            "sink": "none",
+        }
+
+
+class TestGlobalLog:
+    """The process-wide EVENTS instance the library emits through."""
+
+    def test_module_exposes_singleton(self):
+        assert isinstance(events.EVENTS, EventLog)
+
+    def test_hooks_emit_through_global_log(self, tmp_path):
+        from repro.obs.hooks import on_store_poisoned, on_wal_recovery
+
+        events.EVENTS.clear()
+        try:
+            on_wal_recovery(2)
+            on_store_poisoned("post-commit apply failed")
+            names = [e["event"] for e in events.EVENTS.tail()]
+            assert "wal_recovery" in names
+            assert "store_poisoned" in names
+            poisoned = [e for e in events.EVENTS.tail()
+                        if e["event"] == "store_poisoned"][0]
+            assert poisoned["level"] == "error"
+            assert poisoned["why"] == "post-commit apply failed"
+        finally:
+            events.EVENTS.clear()
+
+    def test_query_start_finish_join_on_query_id(self, tiny_cloud):
+        from repro import build_index
+
+        events.EVENTS.clear()
+        events.EVENTS.configure(min_level="debug")
+        try:
+            tree = build_index("srtree", tiny_cloud)
+            tree.nearest(tiny_cloud[0], k=3)
+            tail = events.EVENTS.tail()
+            starts = [e for e in tail if e["event"] == "query_start"]
+            finishes = [e for e in tail if e["event"] == "query_finish"]
+            assert starts and finishes
+            assert starts[-1]["query_id"] == finishes[-1]["query_id"]
+            assert finishes[-1]["op"] == "knn"
+            assert finishes[-1]["wall_ms"] >= 0
+        finally:
+            events.EVENTS.configure(min_level="info")
+            events.EVENTS.clear()

@@ -127,3 +127,97 @@ class TestDisabledHooks:
         assert not hooks.metrics_enabled()
         hooks.set_metrics_enabled(True)
         assert hooks.metrics_enabled()
+
+
+class TestLatencySLOs:
+    @pytest.fixture
+    def slo_reset(self):
+        hooks.set_slo_ms(None)
+        yield
+        hooks.set_slo_ms(None)
+
+    def test_global_objective_counts_violations(self, metrics_on, slo_reset,
+                                                tiny_cloud):
+        tree = build_index("srtree", tiny_cloud)
+        hooks.set_slo_ms(1e-6)  # everything violates
+        before = REGISTRY.flatten()
+        tree.nearest(tiny_cloud[0], k=2)
+        d = delta(before, REGISTRY.flatten())
+        assert d['repro_slo_violations_total{op="knn"}'] == 1
+        assert REGISTRY.flatten()["repro_slo_violation_ratio"] > 0
+
+    def test_fast_queries_do_not_violate(self, metrics_on, slo_reset,
+                                         tiny_cloud):
+        tree = build_index("srtree", tiny_cloud)
+        hooks.set_slo_ms(1e9)  # nothing violates
+        before = REGISTRY.flatten()
+        tree.nearest(tiny_cloud[0], k=2)
+        d = delta(before, REGISTRY.flatten())
+        assert not any(k.startswith("repro_slo_violations_total")
+                       for k in d)
+
+    def test_unset_objective_is_free(self, metrics_on, slo_reset,
+                                     tiny_cloud):
+        assert hooks.slo_ms() is None
+        tree = build_index("srtree", tiny_cloud)
+        before = REGISTRY.flatten()
+        tree.nearest(tiny_cloud[0], k=2)
+        d = delta(before, REGISTRY.flatten())
+        assert not any(k.startswith("repro_slo_") for k in d)
+
+    def test_rejects_nonpositive_objective(self, slo_reset):
+        with pytest.raises(ValueError, match="slo_ms"):
+            hooks.set_slo_ms(0)
+        with pytest.raises(ValueError, match="slo_ms"):
+            hooks.set_slo_ms(-5)
+
+    def test_violation_emits_warn_event(self, metrics_on, slo_reset,
+                                        tiny_cloud):
+        from repro.obs import EVENTS
+
+        tree = build_index("srtree", tiny_cloud)
+        hooks.set_slo_ms(1e-6)
+        EVENTS.clear()
+        try:
+            tree.nearest(tiny_cloud[0], k=2)
+            violations = [e for e in EVENTS.tail()
+                          if e["event"] == "slo_violation"]
+            assert violations
+            assert violations[-1]["op"] == "knn"
+            assert violations[-1]["slo_ms"] == 1e-6
+        finally:
+            EVENTS.clear()
+
+    def test_database_handle_objective_overrides_global(
+            self, metrics_on, slo_reset, tmp_path, tiny_cloud):
+        from repro.api import Database
+
+        hooks.set_slo_ms(1e9)  # global would never fire
+        path = tmp_path / "slo.db"
+        with Database.create(path, dims=tiny_cloud.shape[1],
+                             slo_ms=1e-6) as db:
+            for point in tiny_cloud:
+                db.insert(point)
+            assert db.slo_ms == 1e-6
+            before = REGISTRY.flatten()
+            db.knn(tiny_cloud[0], k=2)
+            d = delta(before, REGISTRY.flatten())
+        assert d['repro_slo_violations_total{op="knn"}'] == 1
+
+    def test_pool_blocks_checked_against_objective(
+            self, metrics_on, slo_reset, tmp_path, tiny_cloud):
+        from repro.api import Database
+        from repro.exec import ServingPool
+
+        path = tmp_path / "pool-slo.db"
+        with Database.create(path, dims=tiny_cloud.shape[1]) as db:
+            for point in tiny_cloud:
+                db.insert(point)
+        before = REGISTRY.flatten()
+        with ServingPool(path, workers=2, slo_ms=1e-6) as pool:
+            pool.knn(tiny_cloud[:8], k=2)
+        d = delta(before, REGISTRY.flatten())
+        assert d['repro_slo_violations_total{op="pool_knn"}'] > 0
+        block_count = [v for k, v in d.items()
+                       if k.startswith("repro_pool_block_seconds_count")]
+        assert sum(block_count) > 0

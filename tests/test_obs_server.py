@@ -1,0 +1,164 @@
+"""Tests for the HTTP telemetry endpoint (repro.obs.server)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Database
+from repro.exec import ServingPool
+from repro.obs import REGISTRY, TelemetryServer, render
+
+
+def _get(url: str) -> tuple[int, dict[str, str], bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+@pytest.fixture
+def db(tmp_path, tiny_cloud):
+    path = tmp_path / "telemetry.db"
+    with Database.create(path, dims=tiny_cloud.shape[1]) as handle:
+        for point in tiny_cloud:
+            handle.insert(point)
+    with Database.open(path) as handle:
+        yield handle
+
+
+class _FakeShard:
+    """Stands in for a timed-out shard future in pool._quarantine."""
+
+    def __init__(self) -> None:
+        self._done = False
+
+    def done(self) -> bool:
+        return self._done
+
+
+class TestEndpoints:
+    def test_metrics_byte_identical_to_render(self, db):
+        db.knn(db.index.iter_points().__next__()[0], k=3)
+        with TelemetryServer() as srv:
+            status, headers, body = _get(srv.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        assert body == render(REGISTRY).encode("utf-8")
+
+    def test_metrics_parses_as_prometheus_text(self, db):
+        db.knn(db.index.iter_points().__next__()[0], k=3)
+        with TelemetryServer() as srv:
+            _status, _headers, body = _get(srv.url + "/metrics")
+        text = body.decode("utf-8")
+        assert text.endswith("\n")
+        samples = 0
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name, line
+            float(value)  # every sample line ends in a parseable number
+            samples += 1
+        assert samples > 0
+
+    def test_varz_document(self, db):
+        with TelemetryServer() as srv:
+            srv.watch_database(db)
+            status, headers, body = _get(srv.url + "/varz")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        doc = json.loads(body)
+        assert set(doc) >= {"metrics", "flight_recorder", "events",
+                            "snapshots"}
+        assert doc["flight_recorder"]["capacity"] > 0
+        (snapshot,) = doc["snapshots"]
+        assert snapshot["handle"] == "database[0]"
+        assert snapshot["epoch"] >= 0
+
+    def test_unknown_path_is_404(self):
+        with TelemetryServer() as srv:
+            status, _headers, body = _get(srv.url + "/nope")
+        assert status == 404
+        assert "/metrics" in json.loads(body)["paths"]
+
+    def test_ephemeral_port_and_url(self):
+        with TelemetryServer() as srv:
+            assert srv.port > 0
+            assert srv.url == f"http://127.0.0.1:{srv.port}"
+
+    def test_stop_is_idempotent(self):
+        srv = TelemetryServer().start()
+        srv.stop()
+        srv.stop()
+
+
+class TestHealthz:
+    def test_healthy_with_no_watched_handles(self):
+        with TelemetryServer() as srv:
+            status, _headers, body = _get(srv.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_poisoned_store_flips_to_503(self, db):
+        with TelemetryServer() as srv:
+            srv.watch_database(db)
+            status, _headers, _body = _get(srv.url + "/healthz")
+            assert status == 200
+            db.index.store._poison("simulated post-commit failure")
+            status, _headers, body = _get(srv.url + "/healthz")
+        assert status == 503
+        doc = json.loads(body)
+        assert doc["status"] == "unhealthy"
+        (check,) = doc["checks"]
+        assert check["ok"] is False
+        assert check["detail"] == "store poisoned"
+
+    def test_all_quarantined_pool_flips_to_503_and_recovers(
+            self, tmp_path, tiny_cloud):
+        path = tmp_path / "pool.db"
+        with Database.create(path, dims=tiny_cloud.shape[1]) as handle:
+            for point in tiny_cloud:
+                handle.insert(point)
+        with ServingPool(path, workers=2) as pool:
+            with TelemetryServer() as srv:
+                srv.watch_pool(pool)
+                status, _h, _b = _get(srv.url + "/healthz")
+                assert status == 200
+
+                # One stuck worker degrades but does not kill the pool.
+                shard0 = _FakeShard()
+                pool._quarantine[0] = shard0
+                status, _h, _b = _get(srv.url + "/healthz")
+                assert status == 200
+
+                # Every worker stuck: nothing can serve.
+                shard1 = _FakeShard()
+                pool._quarantine[1] = shard1
+                status, _h, body = _get(srv.url + "/healthz")
+                assert status == 503
+                (check,) = json.loads(body)["checks"]
+                assert check["quarantined"] == 2
+                assert check["detail"] == "all workers quarantined"
+
+                # Stuck shards finally finish: healthy again.
+                shard0._done = True
+                shard1._done = True
+                status, _h, body = _get(srv.url + "/healthz")
+                assert status == 200
+                assert json.loads(body)["status"] == "ok"
+
+    def test_health_combines_multiple_handles(self, db):
+        srv = TelemetryServer()
+        srv.watch_database(db)
+        healthy, doc = srv.health()
+        assert healthy and doc["status"] == "ok"
+        db.index.store._poison("boom")
+        healthy, doc = srv.health()
+        assert not healthy
+        assert doc["checks"][0]["ok"] is False

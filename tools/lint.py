@@ -5,9 +5,12 @@ Runs (a) ``compileall`` over the given trees to catch syntax errors,
 (b) an AST pass flagging unused imports, duplicate top-level
 definitions, and ``__all__`` names that don't exist in the module, and
 (c) a repository policy pass: ``pickle.loads``/``pickle.load`` may
-appear only in the storage serializer, which wraps them in
-``SerializationError`` handling — everything else must go through the
-codec.  Falls through to the real ``pyflakes`` when it is installed
+appear only in the storage serializer (everything else goes through
+the codec), raw page files and stores may be constructed only inside
+the storage/exec layers, and library code under ``src/repro`` may not
+``print`` or call ``logging.getLogger`` — the CLI and the structured
+event log (``repro.obs.events``) are the only output surfaces.  Falls
+through to the real ``pyflakes`` when it is installed
 (its diagnostics are a strict superset of (b); the policy pass runs
 either way).
 
@@ -258,6 +261,58 @@ def check_store_construction(path: str, tree: ast.Module) -> list[str]:
     return problems
 
 
+#: Library files allowed to write to stdout/stderr directly: the CLI
+#: (whose job is printing) and the event log (the single logging
+#: surface — everything else emits through ``repro.obs.events.EVENTS``
+#: so operators get one structured, level-filtered stream).
+LOGGING_ALLOWED = (
+    os.path.join("src", "repro", "cli.py"),
+    os.path.join("src", "repro", "obs", "events.py"),
+)
+
+
+def check_logging_surface(path: str, tree: ast.Module) -> list[str]:
+    """Flag ``print(...)`` calls and ``logging.getLogger`` under
+    ``src/repro`` outside the CLI and the event log.
+
+    Keeps the library silent by construction: diagnostics go through
+    the structured event log (``repro.obs.events``), never ad-hoc
+    stdout writes or per-module loggers.
+    """
+    norm = path.replace("/", os.sep)
+    if not norm.startswith(os.path.join("src", "repro") + os.sep):
+        return []
+    if norm.endswith(LOGGING_ALLOWED):
+        return []
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                problems.append(
+                    f"{path}:{node.lineno}: print() in library code; "
+                    f"emit a structured event through repro.obs.events "
+                    f"instead"
+                )
+            elif (isinstance(func, ast.Attribute)
+                    and func.attr == "getLogger"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "logging"):
+                problems.append(
+                    f"{path}:{node.lineno}: logging.getLogger in library "
+                    f"code; emit through repro.obs.events instead"
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "logging":
+            for alias in node.names:
+                if alias.name == "getLogger":
+                    problems.append(
+                        f"{path}:{node.lineno}: 'from logging import "
+                        f"getLogger' in library code; emit through "
+                        f"repro.obs.events instead"
+                    )
+    return problems
+
+
 def run_policy_pass(paths) -> int:
     """Repository policy checks that run even when pyflakes is installed."""
     problems: list[str] = []
@@ -271,6 +326,7 @@ def run_policy_pass(paths) -> int:
         problems.extend(check_pickle_usage(path, tree))
         problems.extend(check_pagefile_construction(path, tree))
         problems.extend(check_store_construction(path, tree))
+        problems.extend(check_logging_surface(path, tree))
     for problem in problems:
         print(problem)
     if problems:
