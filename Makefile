@@ -1,6 +1,6 @@
 # Convenience targets for development and reproduction runs.
 
-.PHONY: install lint test test-crash test-concurrency bench bench-check examples all
+.PHONY: install lint test test-crash test-concurrency test-mp bench bench-check examples all
 
 # Byte-compile everything and run the dependency-free pyflakes-level
 # checker (tools/lint.py upgrades itself to real pyflakes when
@@ -30,6 +30,15 @@ test-crash:
 test-concurrency:
 	timeout -k 10 600 env PYTHONFAULTHANDLER=1 PYTHONPATH=src \
 	    python -m pytest tests/test_snapshots.py tests/test_concurrency.py -q
+
+# Multiprocess serving under the spawn start method (the portable one:
+# macOS/Windows default, and the only method safe under threads): the
+# mmap page store plus the ProcessServingPool crash/equivalence suite.
+# faulthandler dumps all stacks if a deadlock eats the hard timeout.
+test-mp:
+	timeout -k 10 600 env PYTHONFAULTHANDLER=1 REPRO_MP_START_METHOD=spawn \
+	    PYTHONPATH=src \
+	    python -m pytest tests/test_mmap_pagefile.py tests/test_procpool.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

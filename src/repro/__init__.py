@@ -23,6 +23,7 @@ architecture and the per-experiment index.
 """
 
 from .api import Database, Snapshot
+from .exec import ServingPool
 from .exceptions import (
     ChecksumError,
     CrashError,
@@ -92,6 +93,7 @@ __all__ = [
     "SRTree",
     "SRXTree",
     "SSTree",
+    "ServingPool",
     "Snapshot",
     "SpatialIndex",
     "Sphere",

@@ -9,7 +9,10 @@ execution modes of :mod:`repro.exec`:
 * ``single``  — a plain ``index.nearest`` loop (the baseline);
 * ``batched`` — :func:`repro.exec.batch_knn`, one traversal per block;
 * ``parallel`` — :class:`repro.exec.ServingPool`, batched blocks across
-  worker threads, each with a private buffer pool;
+  workers, each with a private index handle.  The worker backend is
+  selectable (``backend="process"`` by default here: worker processes
+  over a shared mmap, the only backend that scales with cores;
+  ``"thread"`` measures the GIL-bound thread pool);
 * ``mixed``   — the parallel pool serving epoch-pinned snapshot views of
   a **live** database while a background writer commits inserts through
   the WAL at ``--writer-qps`` (runs against a scratch copy of the index,
@@ -26,14 +29,21 @@ average — and attach a ``per_worker`` IOStats breakdown
 the ``BENCH_throughput.json`` schema documented in
 ``docs/PERFORMANCE.md``::
 
-    {"dataset": {...}, "modes": {"single": {"qps": ..., "p50_ms": ...,
-     "p95_ms": ..., "page_reads_per_query": ..., ...}, ...},
+    {"dataset": {...}, "cpu_count": ..., "modes": {"single": {"qps": ...,
+     "p50_ms": ..., "p95_ms": ..., "page_reads_per_query": ...,
+     "speedup_vs_single": ..., "backend": ..., ...}, ...},
      "speedups": {"batched_vs_single": ..., "parallel_vs_single": ...}}
+
+``cpu_count`` records the machine the numbers came from: parallel
+speedups are meaningless to compare without it (on a 1-core runner the
+process pool cannot beat one batched worker, and the regression gate in
+``tools/bench_check.py`` knows to skip the scaling check there).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import asdict, dataclass, field
 
@@ -62,6 +72,12 @@ class ThroughputResult:
     buffer_hit_ratio: float
     page_cache_hit_ratio: float
     workers: int = 1
+    #: worker backend for pool modes ("thread" | "process"); "inline"
+    #: for the single/batched modes, which have no pool.
+    backend: str = "inline"
+    #: this mode's qps over the single mode's (1.0 for single itself;
+    #: 0.0 when the single mode was not measured).
+    speedup_vs_single: float = 0.0
     writer_qps: float = 0.0       #: requested background write rate (mixed)
     writer_commits: int = 0       #: WAL commits that landed during the run
     #: pool modes: per-worker IOStats breakdown (reads, buffer hits,
@@ -173,11 +189,15 @@ def _run_batched(path, queries, k, block_size, buffer_capacity,
 
 
 def _run_parallel(path, queries, k, block_size, workers, buffer_capacity,
-                  page_cache_capacity):
+                  page_cache_capacity, backend):
     from ..exec import ServingPool
 
+    # Pool construction (spawning worker processes under
+    # backend="process") happens before t0: startup cost is a one-time
+    # serving-deployment cost, not per-query throughput.
     with ServingPool(path, workers=workers, buffer_capacity=buffer_capacity,
-                     page_cache_capacity=page_cache_capacity) as pool:
+                     page_cache_capacity=page_cache_capacity,
+                     backend=backend) as pool:
         pool.drop_caches()
         before = pool.stats()
         t0 = time.perf_counter()
@@ -186,8 +206,10 @@ def _run_parallel(path, queries, k, block_size, workers, buffer_capacity,
         wall = time.perf_counter() - t0
         delta = pool.stats().since(before)
         samples = _expand_block_times(block_times)
-        return _result("parallel", len(queries), k, wall, samples, delta,
-                       workers=pool.workers, per_worker=pool.worker_stats())
+        res = _result("parallel", len(queries), k, wall, samples, delta,
+                      workers=pool.workers, per_worker=pool.worker_stats())
+        res.backend = pool.backend
+        return res
 
 
 def _run_mixed(path, queries, k, block_size, workers, buffer_capacity,
@@ -253,6 +275,9 @@ def _run_mixed(path, queries, k, block_size, workers, buffer_capacity,
                 res = _result("mixed", len(queries), k, wall, samples, delta,
                               workers=pool.workers,
                               per_worker=pool.worker_stats())
+        # Mixed mode serves a *live* database through snapshot views,
+        # which only the thread backend supports.
+        res.backend = "thread"
         res.writer_qps = writer_qps
         res.writer_commits = commits[0]
         return res
@@ -269,13 +294,20 @@ def run_throughput(
     buffer_capacity: int | None = None,
     page_cache_capacity: int = 0,
     writer_qps: float = DEFAULT_WRITER_QPS,
+    backend: str = "process",
     dataset_info: dict | None = None,
 ) -> dict:
     """Measure every requested mode over the saved index at ``path``.
 
     ``writer_qps`` only affects the ``mixed`` mode (background commit
-    rate).  Returns the ``BENCH_throughput.json`` document as a dict.
+    rate); ``backend`` only the ``parallel`` mode (``mixed`` serves a
+    live database and is always thread-backed).  Returns the
+    ``BENCH_throughput.json`` document as a dict.
     """
+    if backend not in ("thread", "process"):
+        raise ValueError(
+            f"unknown backend {backend!r}; choose 'thread' or 'process'"
+        )
     queries = np.ascontiguousarray(queries, dtype=np.float64)
     results: dict[str, ThroughputResult] = {}
     for mode in modes:
@@ -288,15 +320,22 @@ def run_throughput(
         elif mode == "parallel":
             results[mode] = _run_parallel(path, queries, k, block_size,
                                           workers, buffer_capacity,
-                                          page_cache_capacity)
+                                          page_cache_capacity, backend)
         elif mode == "mixed":
             results[mode] = _run_mixed(path, queries, k, block_size,
                                        workers, buffer_capacity, writer_qps)
         else:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
+    single = results.get("single")
+    for mode, res in results.items():
+        if mode == "single":
+            res.speedup_vs_single = 1.0
+        elif single is not None and single.qps > 0:
+            res.speedup_vs_single = res.qps / single.qps
     doc = {
         "benchmark": "throughput",
         "dataset": dict(dataset_info or {}),
+        "cpu_count": os.cpu_count() or 1,
         "k": k,
         "queries": int(queries.shape[0]),
         "block_size": block_size,
@@ -304,7 +343,6 @@ def run_throughput(
         "modes": {mode: asdict(res) for mode, res in results.items()},
         "speedups": {},
     }
-    single = results.get("single")
     if single is not None:
         for mode, res in results.items():
             if mode != "single" and single.qps > 0:

@@ -160,7 +160,13 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--block-size", type=int, default=64,
                        help="queries per traversal block (batched/parallel)")
     bench.add_argument("--workers", type=int, default=4,
-                       help="worker threads for the parallel mode")
+                       help="workers for the parallel mode")
+    bench.add_argument("--backend", choices=("thread", "process"),
+                       default="process",
+                       help="parallel-mode worker backend: 'process' "
+                            "(default; worker processes over a shared mmap, "
+                            "scales with cores) or 'thread' (GIL-bound; "
+                            "what the mixed mode always uses)")
     bench.add_argument("--page-cache", type=int, default=0, metavar="PAGES",
                        help="raw-image page cache per handle, in pages "
                             "(default 0 = off)")
@@ -512,6 +518,7 @@ def _cmd_bench_throughput(args) -> int:
         page_cache_capacity=args.page_cache,
         writer_qps=(DEFAULT_WRITER_QPS if args.writer_qps is None
                     else args.writer_qps),
+        backend=args.backend,
         dataset_info=info,
     )
     write_json(doc, args.out)
@@ -519,6 +526,8 @@ def _cmd_bench_throughput(args) -> int:
         line = (f"{mode:>9}: {res['qps']:10.1f} qps  "
                 f"p50 {res['p50_ms']:.3f} ms  p95 {res['p95_ms']:.3f} ms  "
                 f"{res['page_reads_per_query']:.1f} pages/query")
+        if mode in ("parallel", "mixed"):
+            line += f"  [{res['backend']}]"
         if mode == "mixed":
             line += f"  ({res['writer_commits']} writer commits)"
         print(line)

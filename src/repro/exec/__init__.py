@@ -12,7 +12,11 @@ whole *block* of queries:
   (:func:`~repro.geometry.point.cross_distances`) in single numpy
   passes, with per-query pruning bounds kept in a NumPy array;
 * :class:`~repro.exec.parallel.ServingPool` serves a read-only on-disk
-  tree from several worker threads, each with its own buffer pool.
+  tree from several worker threads, each with its own buffer pool —
+  or, with ``backend="process"``, from several worker *processes*
+  (:class:`~repro.exec.procpool.ProcessServingPool`) sharing one
+  memory-mapped copy of the file, which is what actually scales with
+  cores (the GIL serializes the thread workers on small tree nodes).
 
 Together with the zero-copy page decode
 (:class:`~repro.storage.serializer.NodeCodec`) and the raw-image
@@ -23,9 +27,11 @@ path benchmarked by ``repro bench-throughput`` (see
 
 from .batch import DEFAULT_BLOCK_SIZE, batch_knn, batch_range
 from .parallel import ServingPool
+from .procpool import ProcessServingPool
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "ProcessServingPool",
     "ServingPool",
     "batch_knn",
     "batch_range",

@@ -3,16 +3,36 @@
 In the original (path) mode a saved index is immutable on disk, so it
 can be served by several workers at once without coordination: each
 worker re-opens the page file and gets a **private** buffer pool, page
-cache, and :class:`~repro.storage.stats.IOStats` bundle.  Workers are
-plain threads — the hot code is numpy kernels and file reads, both of
-which release the GIL, and thread workers keep the API free of pickling
-constraints on payload values.
+cache, and :class:`~repro.storage.stats.IOStats` bundle.
+
+**Choosing a backend.**  This module's workers are plain threads, and
+threads do *not* make SR-tree queries faster on multiple cores: numpy
+releases the GIL only inside individual kernels, and on the small
+arrays a tree leaf holds (~60×16 floats here) the interpreter-side
+work between kernels — decode dispatch, candidate heaps, Python-level
+traversal — dominates, so the GIL serializes the workers and the
+thread pool benchmarks *slower* than one batched worker.  For
+CPU-scaling over a saved file, pass ``backend="process"`` to get a
+:class:`~repro.exec.procpool.ProcessServingPool` — worker processes
+over a shared memory-mapped file, no GIL in the way.  The thread
+backend remains the right choice when the GIL is not the bottleneck or
+processes are impossible:
+
+* serving a **live** :class:`~repro.api.Database` (snapshot mode
+  below): epoch-pinned views share the writer's in-process store and
+  cannot cross a process boundary;
+* payload values that cannot be pickled;
+* latency-over-throughput setups where spawn/respawn cost matters more
+  than parallel speedup.
 
 ::
 
     with ServingPool("tree.db", workers=4) as pool:
         answers = pool.knn(queries, k=21)        # batched per worker
     print(pool.stats().page_reads)
+
+    with ServingPool("tree.db", workers=4, backend="process") as pool:
+        answers = pool.knn(queries, k=21)        # scales with cores
 
 A pool can also serve a **live** :class:`~repro.api.Database` that
 another thread keeps mutating.  Each worker then owns an epoch-pinned
@@ -122,7 +142,22 @@ class ServingPool:
         ``repro_slo_violations_total{op="pool_knn"/"pool_range"}``.
         ``None`` (default) falls back to the process-wide objective
         (:func:`repro.obs.hooks.set_slo_ms`).
+    backend:
+        ``"thread"`` (default) uses this class's worker threads;
+        ``"process"`` returns a
+        :class:`~repro.exec.procpool.ProcessServingPool` instead —
+        same query surface, worker *processes* over a shared mmap of
+        the saved file (path sources only; scales with cores).  Extra
+        keywords (``start_method``, ...) are forwarded to it.
     """
+
+    def __new__(cls, source=None, **kwargs):
+        if cls is ServingPool and kwargs.get("backend") == "process":
+            from .procpool import ProcessServingPool
+
+            forwarded = {k: v for k, v in kwargs.items() if k != "backend"}
+            return ProcessServingPool(source, **forwarded)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -135,9 +170,14 @@ class ServingPool:
         read_retries: int = 2,
         retry_backoff: float = 0.01,
         slo_ms: float | None = None,
+        backend: str = "thread",
     ) -> None:
         from ..api import Database
 
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown backend {backend!r}; choose 'thread' or 'process'"
+            )
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
         if workers < 1:
@@ -184,6 +224,11 @@ class ServingPool:
     def workers(self) -> int:
         """Number of worker threads (== private index handles)."""
         return len(self._indexes)
+
+    @property
+    def backend(self) -> str:
+        """Always ``"thread"`` for this class (see the ``backend`` kwarg)."""
+        return "thread"
 
     @property
     def dims(self) -> int:

@@ -1,0 +1,671 @@
+"""Multiprocess serving: worker processes over a shared mmap'd index.
+
+The thread-based :class:`~repro.exec.parallel.ServingPool` cannot scale
+SR-tree queries across cores: the hot loop decodes small (~60×16) leaf
+arrays, and for arrays that size the interpreter work *between* numpy
+kernels dominates, so the GIL serializes the workers.  This module runs
+each worker in its own **process** instead.  Every worker re-opens the
+saved index file ``readonly`` — an :class:`~repro.storage.pagefile.MmapPageFile`
+under its private buffer pool — so the OS page cache physically shares
+one copy of the data across the whole pool, and each page read is a
+zero-copy ``memoryview`` into the shared map.
+
+::
+
+    with ServingPool("tree.db", workers=4, backend="process") as pool:
+        answers = pool.knn(queries, k=21)
+    print(pool.stats().page_reads)        # merged across processes
+
+Query blocks ship to the workers as pickled ndarray buffers; results
+come back with three telemetry payloads that the parent merges so the
+process boundary stays invisible to operators:
+
+* the worker's cumulative :class:`~repro.storage.stats.IOStats`
+  (feeds :meth:`ProcessServingPool.stats` / :meth:`worker_stats`);
+* per-family **counter deltas** from the worker's metrics registry,
+  re-applied to the parent's :data:`~repro.obs.registry.REGISTRY` (so
+  ``/metrics`` and ``/varz`` keep totalling the whole pool);
+* the worker's new flight-recorder records, re-recorded into the
+  parent's ring with ``worker="procN"``.
+
+Histograms are *not* merged (bucket merges are lossy); instead the
+parent observes each returned per-block wall time through
+:func:`~repro.obs.hooks.on_pool_block`, which also applies the pool's
+latency SLO.
+
+**Fault handling.**  The resilience policy mirrors the thread pool's —
+transient-I/O retries inside the worker, per-call ``timeout``, shard
+degradation with ``repro_degraded_queries_total{reason=...}`` — with
+one upgrade processes make possible: a worker that times out or dies
+(``SIGKILL``, OOM, torn pipe) is **terminated and respawned** instead
+of quarantined-forever, because killing a process cannot corrupt the
+parent (its mmap, buffer pool, and caches die with it).  The new
+degradation reason ``worker_died`` covers shards lost to a dead
+worker; ``timeout`` keeps its meaning.  Programming errors (bad
+arguments, bugs) are re-raised in the parent after every pipe has been
+drained, so the pool stays usable.
+
+Live :class:`~repro.api.Database` sources are **not** supported — an
+epoch-pinned snapshot view shares the writer's in-process store, which
+cannot cross a process boundary.  Serve a live database with the
+thread backend (see :mod:`repro.exec.parallel`); serve an immutable
+saved file with this one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+
+import numpy as np
+
+from ..exceptions import StorageError, TransientIOError
+from ..geometry import as_points
+from ..indexes.base import Neighbor
+from ..obs.flightrec import FLIGHT
+from ..obs.hooks import (
+    on_degraded,
+    on_pool_block,
+    on_worker_respawned,
+)
+from ..obs.registry import REGISTRY
+from ..storage.stats import IOStats
+
+__all__ = ["ProcessServingPool", "DEFAULT_START_METHOD"]
+
+DEFAULT_START_METHOD = "spawn"
+"""Default multiprocessing start method (override: ``REPRO_MP_START_METHOD``).
+
+``spawn`` is the only method with identical semantics on Linux, macOS,
+and Windows, and the only one that is safe no matter what threads the
+parent holds; ``fork`` is accepted for tests that need fast startup.
+"""
+
+#: How long (seconds) to wait for a fresh worker's ready handshake.
+SPAWN_TIMEOUT_S = 60.0
+
+#: Fields of a flight-recorder record dict the parent must not replay
+#: (they are recomputed by ``FlightRecorder.record``).
+_COMPUTED_RECORD_FIELDS = ("slow", "traced", "ts")
+
+
+def _counter_snapshot() -> dict:
+    """``{(family_name, label_values): value}`` for every counter child."""
+    snap: dict = {}
+    for family in REGISTRY.families():
+        if family.kind != "counter":
+            continue
+        for key, child in family.samples():
+            snap[(family.name, key)] = child.value
+    return snap
+
+
+def _counter_deltas(prev: dict) -> tuple[dict, dict]:
+    """New snapshot plus the positive per-child deltas since ``prev``."""
+    cur = _counter_snapshot()
+    deltas = {}
+    for key, value in cur.items():
+        grown = value - prev.get(key, 0.0)
+        if grown > 0:
+            deltas[key] = grown
+    return cur, deltas
+
+
+def _apply_counter_deltas(deltas: dict) -> None:
+    """Re-apply a worker's counter growth to the parent registry.
+
+    Only counters are merged: they are sums, so addition is exact.
+    Unknown families (a worker ahead of the parent's catalog) are
+    skipped rather than guessed at.
+    """
+    for (name, key), amount in deltas.items():
+        family = REGISTRY.get(name)
+        if family is None or family.kind != "counter":
+            continue
+        family.labels(**dict(zip(family.label_names, key))).inc(amount)
+
+
+def _run_blocks(index, op: str, queries: np.ndarray, kwargs: dict,
+                retries: int, backoff: float):
+    """Run one shard block-by-block; returns ``(results, block_times)``.
+
+    ``block_times`` entries are ``(wall_ms, queries)`` — the same shape
+    the thread pool reports, so the parent can feed them to
+    :func:`~repro.obs.hooks.on_pool_block` unchanged.  A block that
+    raises :class:`TransientIOError` is retried with exponential
+    backoff; exhausted retries propagate and degrade the whole shard.
+    """
+    from .batch import DEFAULT_BLOCK_SIZE, batch_knn, batch_range
+
+    out: list[list[Neighbor]] = []
+    times: list[tuple[float, int]] = []
+    if op == "knn":
+        k = kwargs["k"]
+        batched = kwargs.get("batched", True)
+        block_size = kwargs.get("block_size") or DEFAULT_BLOCK_SIZE
+        step = block_size if batched else 1
+    else:
+        radius = kwargs["radius"]
+        batched = True
+        block_size = step = DEFAULT_BLOCK_SIZE
+    for start in range(0, len(queries), step):
+        block = queries[start : start + step]
+        b0 = time.perf_counter()
+        for attempt in range(retries + 1):
+            try:
+                if op == "knn":
+                    if batched:
+                        chunk = batch_knn(index, block, k,
+                                          block_size=block_size)
+                    else:
+                        chunk = [index.nearest(point, k=k)
+                                 for point in block]
+                else:
+                    chunk = batch_range(index, block, radius)
+                break
+            except TransientIOError:
+                if attempt == retries:
+                    raise
+                time.sleep(backoff * (2 ** attempt))
+        out.extend(chunk)
+        times.append(((time.perf_counter() - b0) * 1e3, len(block)))
+    return out, times
+
+
+def _worker_main(conn, path: str, opts: dict) -> None:
+    """Worker process entry point: open the index, serve the pipe.
+
+    Spawn-safe: everything the worker needs arrives through ``path`` and
+    the (picklable) ``opts`` dict.  The worker opens the saved file
+    ``readonly`` — mmap-backed, zero-copy reads, private buffer pool —
+    and then answers commands until told to stop or the pipe dies.
+    """
+    import traceback
+
+    from ..indexes.factory import _open_index
+
+    try:
+        index = _open_index(
+            path,
+            opts.get("buffer_capacity"),
+            opts.get("page_cache_capacity", 0),
+            readonly=True,
+        )
+    except BaseException as exc:  # noqa: BLE001 - must report, then die
+        try:
+            conn.send(("error", type(exc).__name__, traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    retries = opts.get("read_retries", 2)
+    backoff = opts.get("retry_backoff", 0.01)
+    delay = opts.get("test_delay_s", 0.0)
+    try:
+        conn.send(("ready", {
+            "dims": index.dims,
+            "kind": index.NAME,
+            "pid": os.getpid(),
+        }))
+        counters = _counter_snapshot()
+        flight_seen = FLIGHT.recorded
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "stop":
+                break
+            if msg[0] == "drop":
+                index.store.drop_cache()
+                conn.send(("ok", None))
+                continue
+            # ("query", op, queries, kwargs)
+            _, op, queries, kwargs = msg
+            if delay:
+                time.sleep(delay)
+            try:
+                results, times = _run_blocks(
+                    index, op, queries, kwargs, retries, backoff
+                )
+            except TransientIOError as exc:
+                conn.send(("degraded", "io_error", str(exc)))
+                continue
+            except StorageError as exc:
+                conn.send(("degraded", "storage_error", str(exc)))
+                continue
+            except Exception as exc:  # noqa: BLE001 - programming error
+                conn.send(("error", type(exc).__name__,
+                           traceback.format_exc()))
+                continue
+            counters, deltas = _counter_deltas(counters)
+            new = FLIGHT.recorded - flight_seen
+            flight_seen = FLIGHT.recorded
+            records = [
+                r.to_dict()
+                for r in FLIGHT.records(min(new, FLIGHT.capacity))
+            ] if new else []
+            conn.send(("ok", (
+                results, times, index.stats.snapshot(), deltas, records,
+            )))
+    except (BrokenPipeError, OSError):
+        pass  # parent died; nothing left to report to
+    finally:
+        try:
+            index.close()
+        except StorageError:
+            pass
+        conn.close()
+
+
+class ProcessServingPool:
+    """A fixed pool of worker *processes* over one saved index file.
+
+    The public query surface is the thread pool's —
+    :meth:`knn` / :meth:`range` with ``batched`` / ``block_size`` /
+    ``with_flags`` / ``with_times``, :meth:`stats`,
+    :meth:`worker_stats`, :meth:`drop_caches`, context management — so
+    ``ServingPool(path, backend="process")`` is a drop-in swap.
+
+    Parameters not shared with :class:`~repro.exec.parallel.ServingPool`:
+
+    start_method:
+        Multiprocessing start method (``None`` = the
+        ``REPRO_MP_START_METHOD`` environment variable, default
+        ``spawn``).
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        workers: int | None = None,
+        buffer_capacity: int | None = None,
+        page_cache_capacity: int = 0,
+        timeout: float | None = None,
+        read_retries: int = 2,
+        retry_backoff: float = 0.01,
+        slo_ms: float | None = None,
+        start_method: str | None = None,
+        _test_delay_s: float = 0.0,
+    ) -> None:
+        from ..api import Database
+
+        if isinstance(source, Database):
+            raise ValueError(
+                "backend='process' serves immutable saved index files; a "
+                "live Database is served by epoch-pinned snapshot views, "
+                "which share the writer's in-process store and cannot "
+                "cross a process boundary — use backend='thread'"
+            )
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if read_retries < 0:
+            raise ValueError(f"read_retries must be >= 0, got {read_retries}")
+        if slo_ms is not None and slo_ms <= 0:
+            raise ValueError(f"slo_ms must be positive, got {slo_ms}")
+        self._path = os.fspath(source)
+        if not os.path.exists(self._path):
+            raise FileNotFoundError(self._path)
+        self._timeout = timeout
+        self._slo_ms = slo_ms
+        self._degraded_queries = 0
+        method = start_method or os.environ.get(
+            "REPRO_MP_START_METHOD", DEFAULT_START_METHOD
+        )
+        self._ctx = mp.get_context(method)
+        self._opts = {
+            "buffer_capacity": buffer_capacity,
+            "page_cache_capacity": page_cache_capacity,
+            "read_retries": read_retries,
+            "retry_backoff": retry_backoff,
+            "test_delay_s": _test_delay_s,
+        }
+        count = workers
+        self._procs: list = [None] * count
+        self._conns: list = [None] * count
+        #: Latest cumulative IOStats received from each live worker.
+        self._worker_stats: list[IOStats] = [IOStats() for _ in range(count)]
+        #: Stats of workers that died/respawned, folded into the total.
+        self._retired_stats = IOStats()
+        self._respawn_counts: dict[int, int] = {}
+        self._dims: int | None = None
+        self._kind: str | None = None
+        self._pids: list[int | None] = [None] * count
+        self._closed = False
+        try:
+            for idx in range(count):
+                self._spawn(idx)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self, idx: int) -> None:
+        """Start worker ``idx`` and wait for its ready handshake."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._path, self._opts),
+            name=f"repro-serve-{idx}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(SPAWN_TIMEOUT_S):
+                raise StorageError(
+                    f"worker {idx} did not come up within "
+                    f"{SPAWN_TIMEOUT_S:.0f}s"
+                )
+            msg = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            proc.terminate()
+            proc.join(timeout=5)
+            parent_conn.close()
+            raise StorageError(
+                f"worker {idx} died during startup"
+            ) from exc
+        except BaseException:
+            proc.terminate()
+            proc.join(timeout=5)
+            parent_conn.close()
+            raise
+        if msg[0] == "error":
+            proc.join(timeout=5)
+            parent_conn.close()
+            raise StorageError(
+                f"worker {idx} failed to open {self._path}: "
+                f"{msg[1]}\n{msg[2]}"
+            )
+        info = msg[1]
+        self._dims = info["dims"]
+        self._kind = info["kind"]
+        self._pids[idx] = info["pid"]
+        self._procs[idx] = proc
+        self._conns[idx] = parent_conn
+
+    def _respawn(self, idx: int, reason: str) -> None:
+        """Kill worker ``idx`` (if alive) and bring up a replacement.
+
+        The dead worker's last-reported stats are retired into the pool
+        total so :meth:`stats` stays cumulative across respawns.
+        """
+        proc = self._procs[idx]
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5)
+        conn = self._conns[idx]
+        if conn is not None:
+            conn.close()
+        self._retired_stats = self._retired_stats + self._worker_stats[idx]
+        self._worker_stats[idx] = IOStats()
+        self._respawn_counts[idx] = self._respawn_counts.get(idx, 0) + 1
+        on_worker_respawned(idx, reason)
+        self._spawn(idx)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes (== private index handles)."""
+        return len(self._procs)
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the served index."""
+        return self._dims
+
+    @property
+    def backend(self) -> str:
+        """Always ``"process"`` (API parity with the facade kwarg)."""
+        return "process"
+
+    @property
+    def degraded_queries(self) -> int:
+        """Queries answered with empty (degraded) results so far."""
+        return self._degraded_queries
+
+    @property
+    def snapshot_epoch(self) -> None:
+        """Always ``None``: the served file is immutable (no epochs)."""
+        return None
+
+    @property
+    def quarantined_workers(self) -> int:
+        """Always 0: failed worker processes are respawned, never
+        quarantined (killing a process cannot corrupt the parent)."""
+        return 0
+
+    @property
+    def respawned_workers(self) -> int:
+        """Total worker respawns (timeouts + deaths) over the pool's life."""
+        return sum(self._respawn_counts.values())
+
+    # ------------------------------------------------------------------
+
+    def knn(self, queries, k: int = 1, *, batched: bool = True,
+            block_size: int | None = None, with_flags: bool = False,
+            with_times: bool = False):
+        """The ``k`` nearest neighbors of every query, in input order.
+
+        Semantics (``batched``, ``with_flags``, ``with_times``) match
+        :meth:`repro.exec.parallel.ServingPool.knn` exactly; the
+        results are byte-for-byte those of single-query search.
+        """
+        queries = as_points(queries, self.dims)
+        results, complete, times = self._scatter(
+            "knn", queries,
+            {"k": k, "batched": batched, "block_size": block_size},
+            "pool_knn",
+        )
+        return self._package(results, complete, times, with_flags,
+                             with_times)
+
+    def range(self, queries, radius: float, *, with_flags: bool = False,
+              with_times: bool = False):
+        """All stored points within ``radius`` of every query, in input
+        order; flags/times behave as in :meth:`knn`."""
+        queries = as_points(queries, self.dims)
+        results, complete, times = self._scatter(
+            "range", queries, {"radius": radius}, "pool_range",
+        )
+        return self._package(results, complete, times, with_flags,
+                             with_times)
+
+    @staticmethod
+    def _package(results, complete, times, with_flags, with_times):
+        out = (results, complete) if with_flags else results
+        if with_times:
+            return (*out, times) if with_flags else (out, times)
+        return out
+
+    def _scatter(self, op: str, queries: np.ndarray, kwargs: dict,
+                 slo_op: str):
+        if self._closed:
+            raise RuntimeError("serving pool is closed")
+        n = queries.shape[0]
+        results: list[list[Neighbor] | None] = [None] * n
+        complete = [True] * n
+        times: list[tuple[float, int]] = []
+        if n == 0:
+            return results, complete, times
+        shards = [
+            (idx, shard)
+            for idx, shard in enumerate(
+                np.array_split(np.arange(n), self.workers)
+            )
+            if shard.size
+        ]
+        sent: list[tuple[int, np.ndarray, str | None]] = []
+        for idx, shard in shards:
+            try:
+                self._conns[idx].send(("query", op, queries[shard], kwargs))
+                sent.append((idx, shard, None))
+            except (BrokenPipeError, OSError):
+                sent.append((idx, shard, "worker_died"))
+        deadline = (None if self._timeout is None
+                    else time.monotonic() + self._timeout)
+        errors: list[str] = []
+        for idx, shard, reason in sent:
+            if reason is None:
+                reason = self._collect(
+                    idx, shard, deadline, slo_op, results, times, errors
+                )
+            if reason is not None:
+                if reason in ("timeout", "worker_died"):
+                    self._respawn(idx, reason)
+                on_degraded(reason, int(shard.size))
+                self._degraded_queries += int(shard.size)
+                for qi in shard:
+                    results[qi] = []
+                    complete[qi] = False
+        if errors:
+            # A worker hit a programming error (bad arguments, a bug).
+            # Every pipe has been drained above, so the pool is still
+            # consistent — re-raise in the caller like the thread pool.
+            raise RuntimeError(
+                "serving-pool worker raised:\n" + errors[0]
+            )
+        return results, complete, times
+
+    def _collect(self, idx: int, shard: np.ndarray, deadline,
+                 slo_op: str, results, times, errors) -> str | None:
+        """Receive one worker's answer; returns a degradation reason or
+        ``None`` on success.  Merges telemetry on the way."""
+        conn = self._conns[idx]
+        try:
+            if deadline is None:
+                conn.poll(None)
+            else:
+                remaining = max(0.0, deadline - time.monotonic())
+                if not conn.poll(remaining):
+                    return "timeout"
+            msg = conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            return "worker_died"
+        if msg[0] == "degraded":
+            return msg[1]
+        if msg[0] == "error":
+            errors.append(f"{msg[1]}: {msg[2]}")
+            return None
+        out, block_times, stats, deltas, records = msg[1]
+        for pos, qi in enumerate(shard):
+            results[qi] = out[pos]
+        for wall_ms, count in block_times:
+            on_pool_block(slo_op, wall_ms / 1e3, self._slo_ms)
+            times.append((wall_ms, count))
+        self._worker_stats[idx] = stats
+        _apply_counter_deltas(deltas)
+        for record in records:
+            fields = dict(record)
+            for name in _COMPUTED_RECORD_FIELDS:
+                fields.pop(name, None)
+            fields["worker"] = f"proc{idx}"
+            FLIGHT.record(**fields)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> IOStats:
+        """Aggregate I/O counters summed over every worker process.
+
+        Counters are merged from the workers' last query responses (and
+        the retired totals of any respawned workers), so the figure is
+        current as of the last completed call.
+        """
+        total = self._retired_stats + IOStats()
+        for stats in self._worker_stats:
+            total = total + stats
+        return total
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker I/O breakdown, one dict per worker process.
+
+        Same schema as the thread pool's (``bench-throughput`` snapshots
+        it into ``per_worker``) plus ``pid`` and ``respawns``;
+        ``quarantines`` is always 0 — failed processes are respawned,
+        and the respawn count is the equivalent health signal.
+        """
+        out: list[dict] = []
+        for worker, stats in enumerate(self._worker_stats):
+            out.append({
+                "worker": worker,
+                "pid": self._pids[worker],
+                "page_reads": stats.page_reads,
+                "node_reads": stats.node_reads,
+                "leaf_reads": stats.leaf_reads,
+                "buffer_hits": stats.buffer_hits,
+                "buffer_misses": stats.buffer_misses,
+                "buffer_hit_ratio": stats.hit_ratio,
+                "page_cache_hits": stats.page_cache_hits,
+                "page_cache_misses": stats.page_cache_misses,
+                "distance_computations": stats.distance_computations,
+                "quarantines": 0,
+                "quarantined": False,
+                "respawns": self._respawn_counts.get(worker, 0),
+            })
+        return out
+
+    def drop_caches(self) -> None:
+        """Cold-start every worker (empties buffer pools and page caches).
+
+        A worker that fails to answer the drop is respawned — which is
+        an even colder start.
+        """
+        if self._closed:
+            raise RuntimeError("serving pool is closed")
+        pending = []
+        for idx, conn in enumerate(self._conns):
+            try:
+                conn.send(("drop",))
+                pending.append(idx)
+            except (BrokenPipeError, OSError):
+                self._respawn(idx, "worker_died")
+        for idx in pending:
+            try:
+                if not self._conns[idx].poll(SPAWN_TIMEOUT_S):
+                    raise EOFError
+                self._conns[idx].recv()
+            except (EOFError, OSError, BrokenPipeError):
+                self._respawn(idx, "worker_died")
+
+    def close(self) -> None:
+        """Stop every worker process (idempotent).
+
+        Workers are asked to stop, given a grace period, then
+        terminated; their pipes are closed either way.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for idx, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+            conn = self._conns[idx]
+            if conn is not None:
+                conn.close()
+
+    def __enter__(self) -> "ProcessServingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

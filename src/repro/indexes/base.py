@@ -633,13 +633,16 @@ class SpatialIndex(ABC):
         poisoned store (post-commit apply failure) is closed without
         saving: its metadata is already durable in the WAL, and writing
         to the diverged data file is exactly what poisoning forbids.
+        A readonly (mmap-backed) store likewise closes without saving —
+        its page file rejects writes and its meta page is already on
+        disk.
         """
         if self._store.closed:
             return
         if self.is_snapshot:
             self._store.close()
             return
-        if not self._store.poisoned:
+        if not self._store.poisoned and not self._store.readonly:
             self.save()
         self._store.close()
 

@@ -156,7 +156,8 @@ def _open_index(path, buffer_capacity: int | None = None,
                 page_cache_capacity: int = 0, *,
                 durability: str | None = None,
                 sync_every: int = 1,
-                fault_plan=None) -> SpatialIndex:
+                fault_plan=None,
+                readonly: bool = False) -> SpatialIndex:
     """Re-open a saved index from a page file on disk (internal).
 
     The raw file prefix supplies the geometry (page size, checksum
@@ -166,7 +167,10 @@ def _open_index(path, buffer_capacity: int | None = None,
 
     ``durability=None`` (default) re-opens in whatever mode the index
     was last saved with; ``"wal"``/``"none"`` force the mode for this
-    session.
+    session.  ``readonly=True`` memory-maps the (recovered) file
+    instead of opening it for writing: reads are zero-copy and the OS
+    page cache is shared with every other process mapping the file, but
+    all mutation raises.
     """
     from ..storage import (
         DEFAULT_BUFFER_CAPACITY,
@@ -198,6 +202,7 @@ def _open_index(path, buffer_capacity: int | None = None,
         sync_every=sync_every,
         fault_plan=fault_plan,
         create=False,
+        readonly=readonly,
     )
     probe = NodeLayout(dims=1, has_rects=True, has_spheres=False,
                        has_weights=False, page_size=pagefile.page_size)

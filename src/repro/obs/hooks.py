@@ -55,6 +55,7 @@ __all__ = [
     "on_store_poisoned",
     "on_worker_quarantined",
     "on_worker_released",
+    "on_worker_respawned",
     "on_pool_block",
 ]
 
@@ -596,6 +597,18 @@ def on_worker_quarantined(worker: int, reason: str = "timeout") -> None:
 def on_worker_released(worker: int) -> None:
     """Record a quarantined serving-pool worker rejoining the rotation."""
     EVENTS.emit("worker_released", level=INFO, worker=worker)
+
+
+def on_worker_respawned(worker: int, reason: str) -> None:
+    """Record a process-pool worker being terminated and replaced.
+
+    Unlike a quarantined thread (which cannot be interrupted and must be
+    waited out), a worker *process* that times out or dies is killed and
+    a fresh one is spawned in its place, so the pool returns to full
+    strength immediately; ``reason`` is the degradation reason that
+    triggered the respawn (``timeout`` or ``worker_died``).
+    """
+    EVENTS.emit("worker_respawned", level=WARN, worker=worker, reason=reason)
 
 
 def on_pool_block(op: str, seconds: float,

@@ -20,7 +20,7 @@ from .faults import FaultInjectingPageFile, FaultPlan
 from .layout import NodeLayout
 from .nodes import InternalNode, LeafNode
 from .pagecache import PageCache
-from .pagefile import FilePageFile, InMemoryPageFile, PageFile
+from .pagefile import FilePageFile, InMemoryPageFile, MmapPageFile, PageFile
 from .serializer import NodeCodec, load_meta_prefix, peek_meta_geometry
 from .snapshot import SnapshotStore, open_snapshot_store
 from .stack import open_pagefile, open_storage, wal_path
@@ -49,6 +49,7 @@ __all__ = [
     "InternalNode",
     "LeafNode",
     "META_PAGE_ID",
+    "MmapPageFile",
     "NodeCodec",
     "NodeLayout",
     "NodeStore",

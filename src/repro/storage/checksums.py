@@ -71,6 +71,7 @@ class ChecksumPageFile(PageFile):
             )
         super().__init__(logical)
         self._inner = inner
+        self.readonly = inner.readonly
 
     # -- allocation state is delegated wholesale to the backend --------
 

@@ -174,6 +174,7 @@ class FaultInjectingPageFile(PageFile):
         super().__init__(inner.page_size)
         self._inner = inner
         self.plan = plan
+        self.readonly = inner.readonly
 
     @property
     def inner(self) -> PageFile:

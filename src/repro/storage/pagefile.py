@@ -1,7 +1,7 @@
 """Page files: fixed-size-block storage backends.
 
 A page file is the "disk" of the storage engine: a flat array of
-fixed-size pages addressed by integer page ids.  Two backends are
+fixed-size pages addressed by integer page ids.  Three backends are
 provided:
 
 * :class:`InMemoryPageFile` — a dict of byte strings; fast, used by tests
@@ -9,7 +9,17 @@ provided:
   counts, which this backend reproduces exactly);
 * :class:`FilePageFile` — a real file on disk, page ``i`` at byte offset
   ``i * page_size``, giving genuine persistence (see
-  ``examples/persistence.py``).
+  ``examples/persistence.py``).  All I/O is positional (``os.pread`` /
+  ``os.pwrite``), so concurrent readers never race on a shared file
+  offset and every page transfer is one syscall;
+* :class:`MmapPageFile` — a **read-only** memory map of an existing
+  file; :meth:`~MmapPageFile.read` returns zero-copy ``memoryview``
+  slices of the map, which the zero-copy node decode turns into numpy
+  views without ever materializing a ``bytes`` object.  Because the
+  mapping is backed by the OS page cache, every process serving the
+  same file physically shares one copy of the hot pages — the backend
+  the multiprocess :class:`~repro.exec.procpool.ProcessServingPool`
+  workers open.
 
 Page 0 is reserved for index metadata (see
 :data:`repro.storage.constants.META_PAGE_ID`); the allocators never hand
@@ -18,17 +28,22 @@ it out.
 
 from __future__ import annotations
 
+import mmap
 import os
 from abc import ABC, abstractmethod
 
-from ..exceptions import PageNotFoundError, PageOverflowError
+from ..exceptions import PageNotFoundError, PageOverflowError, StorageError
 from .constants import DEFAULT_PAGE_SIZE, META_PAGE_ID
 
-__all__ = ["PageFile", "InMemoryPageFile", "FilePageFile"]
+__all__ = ["PageFile", "InMemoryPageFile", "FilePageFile", "MmapPageFile"]
 
 
 class PageFile(ABC):
     """Abstract fixed-size-page storage backend."""
+
+    #: Whether the backend rejects mutation (allocate/write/free raise).
+    #: Wrappers (checksums, fault injection) mirror their inner backend.
+    readonly: bool = False
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
         if page_size < 64:
@@ -137,6 +152,13 @@ class FilePageFile(PageFile):
     Page ``i`` lives at byte offset ``i * page_size``.  The free list is
     kept in memory only; an index that wants durable metadata stores it
     in the reserved meta page (page 0).
+
+    All I/O uses positional syscalls (``os.pread`` / ``os.pwrite``), so
+    there is no shared file offset to race on: two threads reading
+    different pages through the same handle each issue one atomic
+    positional read, where the old ``seek()`` + ``read()`` pair could
+    interleave and hand a thread the wrong page (and cost a second
+    syscall besides).
     """
 
     def __init__(self, path: str | os.PathLike, page_size: int = DEFAULT_PAGE_SIZE,
@@ -146,25 +168,42 @@ class FilePageFile(PageFile):
         exists = os.path.exists(self._path)
         if not exists and not create:
             raise FileNotFoundError(self._path)
-        mode = "r+b" if exists else "w+b"
-        self._file = open(self._path, mode)
+        flags = os.O_RDWR | getattr(os, "O_BINARY", 0)
+        if not exists:
+            flags |= os.O_CREAT
+        self._fd: int | None = os.open(self._path, flags, 0o644)
         if exists:
             size = os.path.getsize(self._path)
             self._next_id = max(META_PAGE_ID + 1, size // page_size)
         else:
             # Reserve the meta page immediately so offsets are stable.
-            self._file.write(b"\x00" * page_size)
-            self._file.flush()
+            self._pwrite_all(b"\x00" * page_size, 0)
 
     @property
     def path(self) -> str:
         """Filesystem path of the backing file."""
         return self._path
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._fd is None
+
+    def _require_open(self) -> int:
+        if self._fd is None:
+            raise StorageError(f"page file {self._path} is closed")
+        return self._fd
+
+    def _pwrite_all(self, data: bytes, offset: int) -> None:
+        fd = self._require_open()
+        written = 0
+        while written < len(data):
+            written += os.pwrite(fd, data[written:], offset + written)
+
     def read(self, page_id: int) -> bytes:
         self._check_id(page_id)
-        self._file.seek(page_id * self._page_size)
-        data = self._file.read(self._page_size)
+        data = os.pread(self._require_open(), self._page_size,
+                        page_id * self._page_size)
         if len(data) < self._page_size:
             raise PageNotFoundError(page_id)
         return data
@@ -174,23 +213,124 @@ class FilePageFile(PageFile):
         self._check_data(data)
         if len(data) < self._page_size:
             data = data + b"\x00" * (self._page_size - len(data))
-        self._file.seek(page_id * self._page_size)
-        self._file.write(data)
+        self._pwrite_all(data, page_id * self._page_size)
 
     def _discard(self, page_id: int) -> None:
         # Disk pages keep their stale bytes until reallocated; nothing to do.
         pass
 
     def sync(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        os.fsync(self._require_open())
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.flush()
-            self._file.close()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "FilePageFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MmapPageFile(PageFile):
+    """A read-only page file over a memory-mapped index file.
+
+    :meth:`read` returns a ``memoryview`` slice of the mapping — no
+    ``seek``/``read`` syscall pair, no ``bytes`` copy — which the
+    zero-copy decode path (:meth:`repro.storage.serializer.NodeCodec.decode`)
+    aliases directly with ``np.frombuffer``.  The mapping is served from
+    the OS page cache, so any number of processes mapping the same file
+    share one physical copy of every hot page; this is what makes a
+    multiprocess serving pool cheap to scale (each worker's "private"
+    handle costs only its buffer pool, not a second copy of the data).
+
+    The backend is strictly read-only: :meth:`allocate`, :meth:`write`,
+    and :meth:`free` raise :class:`~repro.exceptions.StorageError`.  Any
+    write-ahead log must be recovered into the file *before* mapping it
+    (:func:`repro.storage.stack.open_storage` with ``readonly=True``
+    does this); mapping a file whose WAL still holds unapplied commits
+    would serve stale pages.
+    """
+
+    readonly = True
+
+    def __init__(self, path: str | os.PathLike,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        super().__init__(page_size)
+        self._path = os.fspath(path)
+        fd = os.open(self._path, os.O_RDONLY | getattr(os, "O_BINARY", 0))
+        try:
+            size = os.fstat(fd).st_size
+            if size < page_size:
+                raise StorageError(
+                    f"cannot mmap {self._path}: file holds no complete page "
+                    f"({size} bytes, page size {page_size})"
+                )
+            self._mmap = mmap.mmap(fd, 0, access=mmap.ACCESS_READ)
+        finally:
+            os.close(fd)
+        self._view: memoryview | None = memoryview(self._mmap)
+        self._next_id = max(META_PAGE_ID + 1, size // page_size)
+
+    @property
+    def path(self) -> str:
+        """Filesystem path of the mapped file."""
+        return self._path
+
+    def read(self, page_id: int) -> memoryview:
+        self._check_id(page_id)
+        view = self._view
+        if view is None:
+            raise StorageError(f"mmap page file {self._path} is closed")
+        offset = page_id * self._page_size
+        data = view[offset : offset + self._page_size]
+        if len(data) < self._page_size:
+            raise PageNotFoundError(page_id)
+        return data
+
+    def _reject(self, what: str) -> StorageError:
+        return StorageError(
+            f"mmap page file {self._path} is read-only (attempted {what})"
+        )
+
+    def allocate(self) -> int:
+        raise self._reject("allocate")
+
+    def write(self, page_id: int, data: bytes) -> None:
+        raise self._reject(f"write of page {page_id}")
+
+    def free(self, page_id: int) -> None:
+        raise self._reject(f"free of page {page_id}")
+
+    def ensure_allocated(self, page_id: int) -> None:
+        raise self._reject("ensure_allocated")
+
+    def _discard(self, page_id: int) -> None:  # pragma: no cover - unreachable
+        pass
+
+    def close(self) -> None:
+        """Release the mapping (best effort).
+
+        Decoded nodes hold numpy views that alias the map; if any are
+        still alive, ``mmap.close()`` refuses with ``BufferError`` and
+        the mapping simply stays resident until those views are garbage
+        collected — readers never observe a dangling pointer.
+        """
+        if self._view is None:
+            return
+        self._view.release()
+        self._view = None
+        try:
+            self._mmap.close()
+        except BufferError:
+            # Exported buffers (np.frombuffer views in a buffer pool or
+            # in caller-held results) pin the map; the OS unmaps it when
+            # the last view dies.
+            pass
+
+    def __enter__(self) -> "MmapPageFile":
         return self
 
     def __exit__(self, *exc_info) -> None:

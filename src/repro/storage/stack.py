@@ -30,7 +30,7 @@ import os
 from .checksums import CHECKSUM_TRAILER_SIZE, ChecksumPageFile
 from .constants import DEFAULT_PAGE_SIZE
 from .faults import FaultInjectingPageFile, FaultPlan
-from .pagefile import FilePageFile, InMemoryPageFile, PageFile
+from .pagefile import FilePageFile, InMemoryPageFile, MmapPageFile, PageFile
 from .wal import RecoveryReport, WriteAheadLog, open_wal, recover
 
 __all__ = ["open_pagefile", "open_storage", "wal_path"]
@@ -48,6 +48,7 @@ def open_pagefile(
     checksums: bool = False,
     fault_plan: FaultPlan | None = None,
     create: bool = True,
+    mmap: bool = False,
 ) -> PageFile:
     """Build the logical page stack over one data file.
 
@@ -69,11 +70,22 @@ def open_pagefile(
     create:
         Passed through to :class:`~repro.storage.pagefile.FilePageFile`;
         ``False`` raises if the file does not exist.
+    mmap:
+        Map the existing file read-only
+        (:class:`~repro.storage.pagefile.MmapPageFile`) instead of
+        opening it for positional I/O.  Requires ``path``; the resulting
+        stack rejects every mutation.  Callers must recover any pending
+        WAL *before* mapping — :func:`open_storage` with
+        ``readonly=True`` handles that ordering.
     """
     physical = page_size + CHECKSUM_TRAILER_SIZE if checksums else page_size
     base: PageFile
     if path is None:
+        if mmap:
+            raise ValueError("mmap page stacks require a file path")
         base = InMemoryPageFile(physical)
+    elif mmap:
+        base = MmapPageFile(path, page_size=physical)
     else:
         base = FilePageFile(path, page_size=physical, create=create)
     if fault_plan is not None:
@@ -92,6 +104,7 @@ def open_storage(
     sync_every: int = 1,
     fault_plan: FaultPlan | None = None,
     create: bool = True,
+    readonly: bool = False,
 ) -> tuple[PageFile, WriteAheadLog | None, RecoveryReport]:
     """Open (or create) a data file with crash recovery applied.
 
@@ -99,11 +112,43 @@ def open_storage(
     by a previous process — whether or not the new session wants WAL
     durability itself — then opens a fresh log when ``durability ==
     "wal"``.  Returns ``(pagefile, wal_or_none, recovery_report)``.
+
+    With ``readonly=True`` the data file is memory-mapped
+    (:class:`~repro.storage.pagefile.MmapPageFile`) and no WAL is
+    opened regardless of ``durability``.  Recovery still runs first —
+    through a briefly-opened *writable* stack, since a mapping of a
+    file whose WAL holds unapplied commits would serve stale pages —
+    and only then is the (now fully recovered) file mapped.
     """
     if durability not in ("none", "wal"):
         raise ValueError(
             f"unknown durability mode {durability!r}; expected 'none' or 'wal'"
         )
+    log_path = wal_path(path)
+    report = RecoveryReport()
+    if readonly:
+        if os.path.exists(log_path) and os.path.getsize(log_path):
+            writable = open_pagefile(
+                path,
+                page_size=page_size,
+                checksums=checksums,
+                fault_plan=fault_plan,
+                create=False,
+            )
+            try:
+                report = recover(writable, log_path)
+                writable.sync()
+            finally:
+                writable.close()
+        pagefile = open_pagefile(
+            path,
+            page_size=page_size,
+            checksums=checksums,
+            fault_plan=fault_plan,
+            create=False,
+            mmap=True,
+        )
+        return pagefile, None, report
     pagefile = open_pagefile(
         path,
         page_size=page_size,
@@ -111,8 +156,6 @@ def open_storage(
         fault_plan=fault_plan,
         create=create,
     )
-    log_path = wal_path(path)
-    report = RecoveryReport()
     if os.path.exists(log_path) and os.path.getsize(log_path):
         report = recover(pagefile, log_path)
     wal: WriteAheadLog | None = None

@@ -135,6 +135,15 @@ class NodeStore:
         return isinstance(self.pagefile, ChecksumPageFile)
 
     @property
+    def readonly(self) -> bool:
+        """Whether the page stack rejects mutation (mmap-backed serving).
+
+        A readonly store never flushes or saves: :meth:`close` skips the
+        write-back path and ``SpatialIndex.close`` skips ``save()``.
+        """
+        return getattr(self.pagefile, "readonly", False)
+
+    @property
     def poisoned(self) -> bool:
         """Whether a post-commit apply failure has disabled mutations.
 
@@ -160,6 +169,19 @@ class NodeStore:
                 "node store is poisoned after a post-commit failure "
                 f"({self._poisoned}); the transaction is durable in the WAL "
                 "but the data file is behind — reopen the index to recover"
+            )
+
+    def _require_writable(self) -> None:
+        """Reject mutations on a readonly (mmap-backed) store *eagerly*.
+
+        Dirtying a buffered node would otherwise "succeed" in memory and
+        be silently discarded at close (readonly close never flushes) —
+        a lost update disguised as a successful call.
+        """
+        if self.readonly:
+            raise StorageError(
+                "node store is read-only (memory-mapped serving copy); "
+                "reopen the index writable to mutate it"
             )
 
     # ------------------------------------------------------------------
@@ -350,6 +372,7 @@ class NodeStore:
 
     def new_leaf(self) -> LeafNode:
         """Allocate a page and return a fresh empty leaf bound to it."""
+        self._require_writable()
         with self._mu:
             page_id = self.pagefile.allocate()
         if self.in_txn:
@@ -364,6 +387,7 @@ class NodeStore:
         ``extent > 1`` creates an X-tree-style supernode spanning that
         many pages (see :class:`repro.indexes.srx.SRXTree`).
         """
+        self._require_writable()
         with self._mu:
             page_id = self.pagefile.allocate()
             extra_pages = [self.pagefile.allocate() for _ in range(extent - 1)]
@@ -417,7 +441,9 @@ class NodeStore:
             data = self._read_page_image(page_id)
             extent, extras = self.codec.peek_extent(data)
             if extent > 1:
-                data = data + b"".join(self._read_page_image(p) for p in extras)
+                # join (not +=) so memoryview images from an mmap-backed
+                # page file concatenate without needing bytes on the left.
+                data = b"".join((data, *(self._read_page_image(p) for p in extras)))
             node = self.codec.decode(page_id, data)
             self.stats.page_reads += extent
             if node.is_leaf:
@@ -462,6 +488,7 @@ class NodeStore:
 
     def write(self, node: Node) -> None:
         """Record that ``node`` was mutated (write-back happens lazily)."""
+        self._require_writable()
         self.buffer.put(node, dirty=True)
         if self.page_cache is not None:
             self.page_cache.invalidate(node.page_id)
@@ -481,6 +508,7 @@ class NodeStore:
         an aborted transaction must leave the committed tree intact, and
         the committed tree may still reference these pages.
         """
+        self._require_writable()
         if isinstance(node_or_id, int):
             page_ids = [node_or_id]
         else:
@@ -562,6 +590,7 @@ class NodeStore:
 
     def write_meta(self, meta: dict) -> None:
         """Persist an index metadata dict into the reserved meta page."""
+        self._require_writable()
         image = pack_meta(meta)
         if len(image) > self.layout.page_size:
             raise StorageError("index metadata does not fit in the meta page")
@@ -775,6 +804,10 @@ class NodeStore:
             self._closed = True
             if self.wal is not None:
                 self.wal.close()
+            self.pagefile.close()
+            return
+        if self.readonly:
+            self._closed = True
             self.pagefile.close()
             return
         if self.in_txn:  # a caller died mid-transaction: roll back

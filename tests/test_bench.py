@@ -121,13 +121,14 @@ class TestBenchCheck:
             "qps": 128.0, "p50_ms": 5.0, "p95_ms": 9.0,
             "page_reads_per_query": 3.0, "buffer_hit_ratio": 0.5,
             "page_cache_hit_ratio": 0.0, "workers": 1,
+            "backend": "inline", "speedup_vs_single": 1.0,
         }
         doc.update(overrides)
         return doc
 
     def _doc(self, **mode_overrides):
         parallel = self._mode(
-            "parallel", workers=2,
+            "parallel", workers=2, backend="process",
             per_worker=[
                 {"worker": 0, "page_reads": 10, "buffer_hits": 2,
                  "quarantines": 0},
@@ -139,6 +140,7 @@ class TestBenchCheck:
         return {
             "benchmark": "throughput", "dataset": {"points": 100, "dims": 4},
             "k": 5, "queries": 128, "block_size": 16, "speedups": {},
+            "cpu_count": 1,
             "modes": {"single": self._mode("single"), "parallel": parallel},
         }
 
@@ -161,6 +163,23 @@ class TestBenchCheck:
             self._doc(p50_ms=9.0, p95_ms=5.0)
         )
         assert any("p50" in p and "p95" in p for p in problems)
+
+    def test_parallel_slower_than_batched_rejected_on_multicore(
+            self, bench_check):
+        doc = self._doc(qps=50.0)
+        doc["cpu_count"] = 4
+        doc["modes"]["batched"] = self._mode("batched", qps=100.0,
+                                             backend="inline")
+        problems = bench_check.check_schema(doc)
+        assert any("must scale" in p for p in problems)
+
+    def test_scaling_gate_skipped_on_a_single_core(self, bench_check):
+        # On the 1-core doc the comparison is meaningless: no pool can
+        # beat one batched worker, so the slower parallel mode passes.
+        doc = self._doc(qps=50.0)
+        doc["modes"]["batched"] = self._mode("batched", qps=100.0,
+                                             backend="inline")
+        assert bench_check.check_schema(doc) == []
 
     def test_committed_document_passes_schema(self, bench_check):
         import json

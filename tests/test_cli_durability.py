@@ -69,8 +69,7 @@ def test_recover_replays_a_crashed_log(tmp_path, data_file, capsys):
     pagefile = db.index.store.pagefile
     while hasattr(pagefile, "inner"):
         pagefile = pagefile.inner
-    pagefile._file.flush()
-    pagefile._file.close()
+    pagefile.close()  # positional I/O is unbuffered; closing the fd is enough
     db.index.store.wal.close()
 
     assert run("recover", "--index", out) == 0

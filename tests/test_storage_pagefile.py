@@ -121,7 +121,7 @@ class TestFileBacked:
         with FilePageFile(tmp_path / "ctx.db", page_size=128) as pf:
             pid = pf.allocate()
             pf.write(pid, b"ok")
-        assert pf._file.closed
+        assert pf.closed
 
     def test_tiny_page_size_rejected(self, tmp_path):
         with pytest.raises(ValueError):

@@ -9,7 +9,11 @@ Two layers of checking, both dependency-free beyond the library itself:
    *real* per-block latency dispersion — a parallel run whose p50
    equals its p95 to the last bit means the per-query samples were
    fabricated from one flat ``wall / N`` average (the bug this gate
-   was written to keep dead) — plus a ``per_worker`` breakdown.
+   was written to keep dead) — plus a ``per_worker`` breakdown.  On
+   documents measured with >= 2 cores (``cpu_count``), the parallel
+   mode must also be at least as fast as the batched single-worker
+   mode — a parallel pool that *loses* to one worker (the GIL-bound
+   thread backend's signature) is a regression, not a feature.
 
 2. **Regression pass** (skipped with ``--schema-only``): rebuild a
    dataset and index with the same spec as the committed document
@@ -43,7 +47,12 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 MODE_FIELDS = (
     "mode", "queries", "k", "wall_seconds", "qps", "p50_ms", "p95_ms",
     "page_reads_per_query", "buffer_hit_ratio", "page_cache_hit_ratio",
-    "workers",
+    "workers", "backend", "speedup_vs_single",
+)
+
+#: Top-level keys the document must carry.
+DOC_KEYS = (
+    "benchmark", "dataset", "modes", "speedups", "k", "queries", "cpu_count",
 )
 
 #: Modes served by a ServingPool, which must attribute their I/O to
@@ -56,12 +65,13 @@ PER_WORKER_FIELDS = ("worker", "page_reads", "buffer_hits", "quarantines")
 
 def check_schema(doc: dict) -> list[str]:
     problems: list[str] = []
-    for key in ("benchmark", "dataset", "modes", "speedups", "k", "queries"):
+    for key in DOC_KEYS:
         if key not in doc:
             problems.append(f"document missing top-level key {key!r}")
     modes = doc.get("modes", {})
     if not modes:
         problems.append("document has no modes")
+    problems.extend(check_scaling(doc))
     for mode, res in sorted(modes.items()):
         for field in MODE_FIELDS:
             if field not in res:
@@ -104,6 +114,38 @@ def check_schema(doc: dict) -> list[str]:
     return problems
 
 
+def check_scaling(doc: dict) -> list[str]:
+    """Multi-core gate: parallel serving must beat one batched worker.
+
+    The shipped BENCH once carried a parallel mode 19% *slower* than
+    batched (GIL-bound thread workers) with nothing flagging it; this
+    check keeps that from recurring.  It only applies when the document
+    was measured on >= 2 cores (``cpu_count``) — on a 1-core machine no
+    pool can beat one batched worker and the comparison is meaningless
+    — and only to multi-worker parallel runs.
+    """
+    modes = doc.get("modes", {})
+    parallel = modes.get("parallel")
+    batched = modes.get("batched")
+    if parallel is None or batched is None:
+        return []
+    if int(doc.get("cpu_count", 1)) < 2:
+        return []
+    if int(parallel.get("workers", 1)) < 2:
+        return []
+    p_qps = parallel.get("qps", 0)
+    b_qps = batched.get("qps", 0)
+    if p_qps < b_qps:
+        return [
+            f"parallel ({parallel.get('backend', '?')} backend, "
+            f"{parallel.get('workers')} workers) serves {p_qps:.1f} qps — "
+            f"slower than one batched worker at {b_qps:.1f} qps on a "
+            f"{doc.get('cpu_count')}-core machine; parallel serving must "
+            f"scale, not regress (use backend='process')"
+        ]
+    return []
+
+
 def run_regression(doc: dict, tolerance: float,
                    queries_override: int | None) -> list[str]:
     from repro.api import Database
@@ -137,10 +179,16 @@ def run_regression(doc: dict, tolerance: float,
         workers = max(
             int(doc["modes"][m].get("workers", 4)) for m in modes
         )
+        # Compare like-for-like: rerun the parallel mode on the same
+        # worker backend the committed numbers came from.
+        backend = doc["modes"].get("parallel", {}).get("backend", "process")
+        if backend not in ("thread", "process"):
+            backend = "process"
         fresh = run_throughput(
             path, queries, k, modes=modes, block_size=block_size,
             workers=workers,
             page_cache_capacity=int(doc.get("page_cache_capacity", 0)),
+            backend=backend,
         )
         print(f"bench-check: reran {', '.join(modes)} over a fresh "
               f"{points} x {dims} uniform {kind} ({n_queries} queries, "

@@ -164,6 +164,7 @@ def check_pickle_usage(path: str, tree: ast.Module) -> list[str]:
 PAGEFILE_CLASSES = frozenset({
     "FilePageFile",
     "InMemoryPageFile",
+    "MmapPageFile",
     "ChecksumPageFile",
     "FaultInjectingPageFile",
 })
