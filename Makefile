@@ -1,6 +1,6 @@
 # Convenience targets for development and reproduction runs.
 
-.PHONY: install lint test test-crash test-concurrency test-mp bench bench-check examples all
+.PHONY: install lint test test-crash test-concurrency test-mp test-net bench bench-check examples all
 
 # Byte-compile everything and run the dependency-free pyflakes-level
 # checker (tools/lint.py upgrades itself to real pyflakes when
@@ -39,6 +39,16 @@ test-mp:
 	timeout -k 10 600 env PYTHONFAULTHANDLER=1 REPRO_MP_START_METHOD=spawn \
 	    PYTHONPATH=src \
 	    python -m pytest tests/test_mmap_pagefile.py tests/test_procpool.py -q
+
+# The network query service: QuerySurface conformance across all five
+# handle kinds (remote results byte-equal to local on the three paper
+# workloads) plus the server's admission-control, deadline, and
+# graceful-drain behaviors (a burst at 4x max_inflight must shed with
+# 429 while zero in-flight queries are dropped during drain).
+# faulthandler dumps all stacks if a hung socket eats the hard timeout.
+test-net:
+	timeout -k 10 600 env PYTHONFAULTHANDLER=1 PYTHONPATH=src \
+	    python -m pytest tests/test_query_surface.py tests/test_net.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

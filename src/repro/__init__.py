@@ -22,21 +22,26 @@ See ``examples/`` for complete programs and ``DESIGN.md`` for the
 architecture and the per-experiment index.
 """
 
-from .api import Database, Snapshot
+from .api import Database, QuerySurface, Snapshot
 from .exec import ServingPool
 from .exceptions import (
     ChecksumError,
     CrashError,
+    DeadlineExceededError,
     DimensionalityError,
     EmptyIndexError,
     InvariantViolationError,
     KeyNotFoundError,
+    NetError,
+    RemoteError,
     ReproError,
+    ServerOverloadedError,
     StorageError,
     TransientIOError,
     WALError,
     WorkloadError,
 )
+from .net import QueryServer, RemoteDatabase
 from .geometry import Rect, Sphere, SRRegion
 from .indexes import (
     INDEX_KINDS,
@@ -71,6 +76,7 @@ __all__ = [
     "ChecksumError",
     "CrashError",
     "Database",
+    "DeadlineExceededError",
     "DimensionalityError",
     "EmptyIndexError",
     "FilePageFile",
@@ -83,16 +89,22 @@ __all__ = [
     "LinearScan",
     "MetricsRegistry",
     "Neighbor",
+    "NetError",
     "PAPER_K",
+    "QueryServer",
+    "QuerySurface",
     "REGISTRY",
     "RStarTree",
     "RTree",
     "Rect",
+    "RemoteDatabase",
+    "RemoteError",
     "ReproError",
     "SRRegion",
     "SRTree",
     "SRXTree",
     "SSTree",
+    "ServerOverloadedError",
     "ServingPool",
     "Snapshot",
     "SpatialIndex",

@@ -44,7 +44,9 @@ forwards here.
 
 from __future__ import annotations
 
+import difflib
 import os
+from typing import Protocol, runtime_checkable
 
 from .indexes.base import Neighbor, SpatialIndex
 from .indexes.factory import (
@@ -53,7 +55,13 @@ from .indexes.factory import (
     resolve_kind,
 )
 
-__all__ = ["Database", "Snapshot", "KIND_ALIASES"]
+__all__ = [
+    "Database",
+    "Snapshot",
+    "QuerySurface",
+    "KIND_ALIASES",
+    "validate_query_kwargs",
+]
 
 KIND_ALIASES: dict[str, str] = {
     "sr": "srtree",
@@ -70,6 +78,102 @@ _MEMORY = ":memory:"
 
 def _resolve_alias(kind: str) -> str:
     return KIND_ALIASES.get(kind, kind)
+
+
+@runtime_checkable
+class QuerySurface(Protocol):
+    """The formal read surface every query handle implements.
+
+    Five handle kinds satisfy this protocol — :class:`Database`,
+    :class:`Snapshot`, :class:`~repro.exec.ServingPool` (both thread
+    and process backends), and :class:`~repro.net.RemoteDatabase` —
+    and ``tests/test_query_surface.py`` runs one shared conformance
+    suite against all of them, asserting identical answers on the
+    paper's three workloads.  Code written against this protocol can
+    swap a local handle for a pool or a network client without
+    call-site changes::
+
+        def serve(handle: QuerySurface):
+            return handle.knn([0.0] * handle.dims, k=5)
+
+    The protocol is ``runtime_checkable``: ``isinstance(h,
+    QuerySurface)`` verifies member *presence* (not signatures), which
+    is what the conformance suite pins down.
+    """
+
+    @property
+    def kind(self) -> str:
+        """Registry name of the index family answering queries."""
+        ...
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the stored points."""
+        ...
+
+    @property
+    def size(self) -> int:
+        """Number of stored points."""
+        ...
+
+    @property
+    def closed(self) -> bool:
+        """Whether the handle has been closed."""
+        ...
+
+    def knn(self, point, k: int = 1) -> list[Neighbor]:
+        """The ``k`` nearest stored points, closest first."""
+        ...
+
+    def knn_batch(self, points, k: int = 1) -> list[list[Neighbor]]:
+        """The ``k`` nearest neighbors of each query point, batched."""
+        ...
+
+    def range(self, point, radius: float) -> list[Neighbor]:
+        """All stored points within ``radius`` of ``point``."""
+        ...
+
+    def window(self, low, high) -> list[Neighbor]:
+        """All stored points inside the axis-aligned box ``[low, high]``."""
+        ...
+
+    def lookup(self, point) -> list[object]:
+        """Exact-match point query: every payload stored at ``point``."""
+        ...
+
+    def stats(self) -> dict:
+        """A diagnostic snapshot of the handle (loosely typed)."""
+        ...
+
+    def close(self) -> None:
+        """Release the handle (idempotent)."""
+        ...
+
+
+def validate_query_kwargs(op: str, kwargs: dict, *,
+                          allowed: tuple = ("algorithm",)) -> None:
+    """Reject unknown query keywords with a did-you-mean hint.
+
+    The query methods historically forwarded ``**kwargs`` straight into
+    the search internals, so a typo like ``db.knn(p, kk=3)`` silently
+    became ``TypeError`` deep inside a traversal — or worse, was
+    swallowed by a permissive override.  This applies the same
+    canonicalize/did-you-mean discipline as
+    :func:`~repro.indexes.factory.normalize_index_kwargs` at the facade
+    boundary.
+    """
+    if not kwargs:
+        return
+    candidates = sorted({*allowed, "k"})
+    for name in kwargs:
+        if name in allowed:
+            continue
+        close = difflib.get_close_matches(name, candidates, n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise TypeError(
+            f"{op}() got an unexpected keyword argument {name!r}{hint} "
+            f"(recognized: {', '.join(candidates)})"
+        )
 
 
 class Database:
@@ -315,7 +419,13 @@ class Database:
     # ------------------------------------------------------------------
 
     def knn(self, point, k: int = 1, **kwargs) -> list[Neighbor]:
-        """The ``k`` nearest stored points, closest first."""
+        """The ``k`` nearest stored points, closest first.
+
+        ``algorithm`` (family-dependent) is the only extra keyword;
+        anything else is rejected with a did-you-mean hint instead of
+        leaking into the search internals.
+        """
+        validate_query_kwargs("knn", kwargs)
         return self._index.nearest(point, k=k, **kwargs)
 
     def knn_batch(self, points, k: int = 1) -> list[list[Neighbor]]:
@@ -501,6 +611,7 @@ class Snapshot:
 
     def knn(self, point, k: int = 1, **kwargs) -> list[Neighbor]:
         """The ``k`` nearest points of the pinned state, closest first."""
+        validate_query_kwargs("knn", kwargs)
         return self._view.nearest(point, k=k, **kwargs)
 
     def knn_batch(self, points, k: int = 1) -> list[list[Neighbor]]:
@@ -518,6 +629,21 @@ class Snapshot:
     def lookup(self, point) -> list[object]:
         """Exact-match point query against the pinned state."""
         return self._view.lookup(point)
+
+    def stats(self) -> dict:
+        """A snapshot of the pinned view: identity, epoch, I/O counters."""
+        view = self._view
+        io = view.stats
+        return {
+            "kind": view.NAME,
+            "dims": view.dims,
+            "size": view.size,
+            "epoch": view.snapshot_epoch,
+            "age": view.store.lag,
+            "page_reads": io.page_reads,
+            "distance_computations": io.distance_computations,
+            "buffer_hit_ratio": io.hit_ratio,
+        }
 
     def explain(self, point, k: int = 1) -> str:
         """EXPLAIN one k-NN query, annotated with the pinned epoch."""

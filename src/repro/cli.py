@@ -28,6 +28,10 @@ Usage (also via ``python -m repro``)::
     python -m repro query --index images.srtree --row 123 --data data.npy \\
         --explain
 
+    # Serve the query API over HTTP, then query it remotely.
+    python -m repro serve --index images.srtree --port 8750
+    python -m repro query --remote localhost:8750 --point 0.1,0.2,... -k 21
+
     # Exercise an index and dump the metrics registry (Prometheus text).
     python -m repro stats --index images.srtree --queries 20 --format prom
 
@@ -110,14 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("--index", required=True)
     info.set_defaults(handler=_cmd_info)
 
-    query = sub.add_parser("query", help="k-NN query against a saved index")
-    query.add_argument("--index", required=True)
+    query = sub.add_parser(
+        "query",
+        help="k-NN query against a saved index or a running server",
+    )
+    where = query.add_mutually_exclusive_group(required=True)
+    where.add_argument("--index", help="saved index file")
+    where.add_argument("--remote", metavar="HOST:PORT",
+                       help="query a running 'repro serve' instance "
+                            "instead of a local file")
     query.add_argument("-k", type=int, default=21)
     point = query.add_mutually_exclusive_group(required=True)
     point.add_argument("--point", help="comma-separated coordinates")
     point.add_argument("--row", type=int,
                        help="row of --data to use as the query point")
     query.add_argument("--data", help=".npy file for --row queries")
+    query.add_argument("--deadline-ms", type=float, default=None,
+                       help="latency budget sent as X-Repro-Deadline-Ms "
+                            "(--remote only)")
     query.add_argument("--explain", action="store_true",
                        help="trace the traversal and print a per-level "
                             "visit/prune breakdown (EXPLAIN)")
@@ -207,6 +221,59 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="serve this many seconds, then exit "
                             "(default: until Ctrl-C)")
     serve.set_defaults(handler=_cmd_serve_metrics)
+
+    serve_q = sub.add_parser(
+        "serve",
+        help="serve an index's query API over HTTP (repro.net)",
+        description="Opens a saved index and serves the full query "
+                    "surface (/v1/knn, /v1/knn_batch, /v1/range, "
+                    "/v1/window, /v1/lookup, /v1/stats, /v1/explain) "
+                    "over HTTP/1.1 with admission control and deadline "
+                    "propagation, until SIGTERM/Ctrl-C — both trigger a "
+                    "graceful drain (in-flight requests finish, late "
+                    "arrivals are shed with 503).  With --workers > 1 "
+                    "the index is served through a ServingPool; with "
+                    "--token, mutation endpoints (/v1/insert, "
+                    "/v1/insert_many, /v1/delete) are enabled for "
+                    "clients presenting the token (single-handle "
+                    "Database serving only).  Query it with "
+                    "'repro query --remote HOST:PORT' or "
+                    "repro.RemoteDatabase.  See docs/SERVING.md.",
+    )
+    serve_q.add_argument("--index", required=True, help="saved index file")
+    serve_q.add_argument("--host", default="127.0.0.1")
+    serve_q.add_argument("--port", type=int, default=8750,
+                         help="listen port (default 8750; 0 = ephemeral)")
+    serve_q.add_argument("--workers", type=int, default=1,
+                         help="serve through a pool of this many workers "
+                              "(default 1 = a single Database handle, "
+                              "which also enables mutations with --token)")
+    serve_q.add_argument("--backend", choices=("thread", "process"),
+                         default="thread",
+                         help="pool backend when --workers > 1")
+    serve_q.add_argument("--max-inflight", type=int, default=8,
+                         help="admission control: concurrent requests "
+                              "(default 8)")
+    serve_q.add_argument("--max-queue", type=int, default=16,
+                         help="admission control: queued requests beyond "
+                              "the in-flight bound; overflow sheds with "
+                              "429 (default 16)")
+    serve_q.add_argument("--token", default=None,
+                         help="shared secret enabling mutation endpoints "
+                              "(omit to serve read-only)")
+    serve_q.add_argument("--timeout", type=float, default=None,
+                         help="default per-call worker deadline in "
+                              "seconds (pool serving only)")
+    serve_q.add_argument("--slo-ms", type=float, default=None,
+                         help="process-wide latency objective in ms")
+    serve_q.add_argument("--telemetry-port", type=int, default=None,
+                         metavar="PORT",
+                         help="also serve /metrics, /healthz, /varz on "
+                              "this port (0 = ephemeral)")
+    serve_q.add_argument("--duration", type=float, default=None,
+                         help="serve this many seconds, then drain and "
+                              "exit (default: until SIGTERM/Ctrl-C)")
+    serve_q.set_defaults(handler=_cmd_serve)
 
     slow = sub.add_parser(
         "slow",
@@ -334,6 +401,8 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    if args.remote is not None:
+        return _cmd_query_remote(args)
     index = _open_index(args.index)
     try:
         if args.point is not None:
@@ -365,6 +434,105 @@ def _cmd_query(args) -> int:
             trace.disable()
     finally:
         index.store.close()
+    return 0
+
+
+def _cmd_query_remote(args) -> int:
+    from .exceptions import NetError
+    from .net import RemoteDatabase
+
+    if args.point is not None:
+        point = np.array([float(x) for x in args.point.split(",")])
+    else:
+        if not args.data:
+            raise ValueError("--row requires --data")
+        point = np.load(args.data)[args.row]
+    try:
+        with RemoteDatabase.connect(args.remote,
+                                    deadline_ms=args.deadline_ms) as db:
+            start = time.perf_counter()
+            neighbors = db.knn(point, k=args.k)
+            elapsed = (time.perf_counter() - start) * 1e3
+            for n in neighbors:
+                print(f"{n.distance:.6f}  {n.value!r}")
+            print(f"-- {len(neighbors)} neighbors from {args.remote} "
+                  f"({db.kind}, {db.dims}d), {elapsed:.2f} ms round trip")
+            if args.explain:
+                print()
+                print(db.explain(point, k=args.k))
+    except NetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from .api import Database
+    from .exec import ServingPool
+    from .net import QueryServer
+    from .obs import TelemetryServer
+    from .obs.hooks import set_slo_ms
+
+    if args.slo_ms is not None:
+        set_slo_ms(args.slo_ms)
+    if args.workers > 1:
+        source = ServingPool(args.index, workers=args.workers,
+                             backend=args.backend, timeout=args.timeout)
+        mode = f"{args.workers} {args.backend} workers"
+    else:
+        source = Database.open(args.index)
+        mode = "single handle"
+    stop = threading.Event()
+    # SIGTERM (and Ctrl-C below) trigger the same graceful drain:
+    # in-flight requests finish, late arrivals are shed with 503.
+    previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    telemetry = None
+    try:
+        server = QueryServer(
+            source,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            auth_token=args.token,
+        )
+        try:
+            if args.telemetry_port is not None:
+                telemetry = TelemetryServer(host=args.host,
+                                            port=args.telemetry_port)
+                telemetry.start()
+                telemetry.watch_query_server(server)
+                if isinstance(source, Database):
+                    telemetry.watch_database(source)
+                else:
+                    telemetry.watch_pool(source)
+            host, port = server.address
+            mutations = "enabled" if args.token else "disabled"
+            print(f"serving {args.index} at http://{host}:{port}/v1 "
+                  f"({mode}, mutations {mutations})")
+            if telemetry is not None:
+                print(f"telemetry at {telemetry.url}  "
+                      f"(/metrics /healthz /varz)")
+            print("Ctrl-C or SIGTERM drains and exits")
+            try:
+                if args.duration is not None:
+                    stop.wait(args.duration)
+                else:
+                    stop.wait()
+            except KeyboardInterrupt:
+                pass
+            print("draining...")
+        finally:
+            server.close()
+            if telemetry is not None:
+                telemetry.stop()
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        source.close()
+    print("drained; bye")
     return 0
 
 

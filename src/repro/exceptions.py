@@ -106,3 +106,50 @@ class InvariantViolationError(IndexError_, AssertionError):
 
 class WorkloadError(ReproError, ValueError):
     """Invalid parameters were supplied to a workload generator."""
+
+
+class NetError(ReproError):
+    """Base class for network query-service failures (:mod:`repro.net`).
+
+    Raised only on the *client* side: the server reports problems as
+    HTTP statuses with a JSON error document, and
+    :class:`~repro.net.client.RemoteDatabase` translates them back into
+    exceptions — library errors (``ValueError``, ``EmptyIndexError``,
+    ...) are re-raised as their local types so remote handles fail
+    exactly like local ones, and transport-level conditions surface as
+    the subclasses below.
+    """
+
+
+class ServerOverloadedError(NetError):
+    """The server shed the request under admission control (HTTP 429/503).
+
+    ``retry_after`` carries the server's ``Retry-After`` hint in
+    seconds (``None`` when the server did not send one, e.g. while
+    draining for shutdown).  The request was **not** executed; retrying
+    after the hint is safe, including for mutations.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(NetError):
+    """The request's ``X-Repro-Deadline-Ms`` budget expired (HTTP 504).
+
+    The server sheds deadline-expired requests *before* dispatching any
+    work, so no partial mutation can have happened.
+    """
+
+
+class RemoteError(NetError):
+    """The server failed in a way with no local exception equivalent.
+
+    ``remote_type`` preserves the server-side exception class name for
+    diagnostics.
+    """
+
+    def __init__(self, message: str, remote_type: str | None = None) -> None:
+        super().__init__(message)
+        self.remote_type = remote_type

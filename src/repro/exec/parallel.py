@@ -104,6 +104,24 @@ from ..storage.stats import IOStats
 __all__ = ["ServingPool"]
 
 
+def _unbatch(out, with_flags: bool, with_times: bool):
+    """Unwrap a 1-query batch result into single-query shape.
+
+    ``(results, complete)`` becomes ``(neighbors, bool)``; the optional
+    ``times`` tail is kept as-is.
+    """
+    if with_flags and with_times:
+        results, complete, times = out
+        return results[0], complete[0], times
+    if with_flags:
+        results, complete = out
+        return results[0], complete[0]
+    if with_times:
+        results, times = out
+        return results[0], times
+    return out[0]
+
+
 class ServingPool:
     """A fixed pool of worker threads, each owning a private index handle.
 
@@ -156,6 +174,7 @@ class ServingPool:
             from .procpool import ProcessServingPool
 
             forwarded = {k: v for k, v in kwargs.items() if k != "backend"}
+            forwarded["_sanctioned"] = True
             return ProcessServingPool(source, **forwarded)
         return super().__new__(cls)
 
@@ -236,6 +255,21 @@ class ServingPool:
         return self._indexes[0].dims
 
     @property
+    def kind(self) -> str:
+        """Registry name of the served index family."""
+        return self._indexes[0].NAME
+
+    @property
+    def size(self) -> int:
+        """Number of points in the served index (worker 0's view)."""
+        return self._indexes[0].size
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
+        return self._closed
+
+    @property
     def degraded_queries(self) -> int:
         """Queries answered with empty (degraded) results so far."""
         return self._degraded_queries
@@ -261,7 +295,29 @@ class ServingPool:
 
     def knn(self, queries, k: int = 1, *, batched: bool = True,
             block_size: int | None = None, with_flags: bool = False,
-            with_times: bool = False):
+            with_times: bool = False, timeout: float | None = None):
+        """The ``k`` nearest neighbors, single query or batch.
+
+        A single 1-D ``point`` returns one ``list[Neighbor]`` — the
+        :class:`~repro.api.QuerySurface` contract, same shape as
+        ``Database.knn`` — while a 2-D ``(n, dims)`` batch keeps the
+        historical pool semantics and returns one list per query (see
+        :meth:`knn_batch` for the keyword details).
+        """
+        if np.asarray(queries).ndim == 1:
+            return _unbatch(self.knn_batch(
+                np.asarray(queries, dtype=np.float64)[None, :], k,
+                batched=batched, block_size=block_size,
+                with_flags=with_flags, with_times=with_times,
+                timeout=timeout,
+            ), with_flags, with_times)
+        return self.knn_batch(queries, k, batched=batched,
+                              block_size=block_size, with_flags=with_flags,
+                              with_times=with_times, timeout=timeout)
+
+    def knn_batch(self, queries, k: int = 1, *, batched: bool = True,
+                  block_size: int | None = None, with_flags: bool = False,
+                  with_times: bool = False, timeout: float | None = None):
         """The ``k`` nearest neighbors of every query, in input order.
 
         ``batched=True`` (default) runs the block engine per shard;
@@ -279,6 +335,10 @@ class ServingPool:
         throughput benchmark's parallel percentiles are computed from.
         Blocks replayed by the transient-I/O retry path appear once per
         attempt.
+
+        ``timeout`` overrides the pool-level deadline for this one call
+        (the network server propagates each request's remaining
+        ``X-Repro-Deadline-Ms`` budget through it).
         """
         from .batch import DEFAULT_BLOCK_SIZE, batch_knn
 
@@ -305,19 +365,24 @@ class ServingPool:
                 times.append((seconds * 1e3, len(block)))
             return out
 
-        out = self._scatter(queries, run, with_flags=with_flags)
+        out = self._scatter(queries, run, with_flags=with_flags,
+                            timeout=timeout)
         if with_times:
             return (*out, times) if with_flags else (out, times)
         return out
 
     def range(self, queries, radius: float, *, with_flags: bool = False,
-              with_times: bool = False):
-        """All stored points within ``radius`` of every query, in input order.
+              with_times: bool = False, timeout: float | None = None):
+        """All stored points within ``radius``, single query or batch.
 
-        ``with_flags`` and ``with_times`` behave as in :meth:`knn`.
+        Shapes follow :meth:`knn`: a 1-D point returns one
+        ``list[Neighbor]``, a 2-D batch one list per query.
+        ``with_flags``/``with_times``/``timeout`` behave as in
+        :meth:`knn_batch`.
         """
         from .batch import DEFAULT_BLOCK_SIZE, batch_range
 
+        single = np.asarray(queries).ndim == 1
         queries = as_points(queries, self.dims)
         times: list[tuple[float, int]] = []
 
@@ -333,10 +398,43 @@ class ServingPool:
                 times.append((seconds * 1e3, len(block)))
             return out
 
-        out = self._scatter(queries, run, with_flags=with_flags)
+        out = self._scatter(queries, run, with_flags=with_flags,
+                            timeout=timeout)
         if with_times:
-            return (*out, times) if with_flags else (out, times)
-        return out
+            out = (*out, times) if with_flags else (out, times)
+        return _unbatch(out, with_flags, with_times) if single else out
+
+    def window(self, low, high, *, timeout: float | None = None
+               ) -> list[Neighbor]:
+        """All stored points inside the box ``[low, high]``.
+
+        Runs on one available worker under the same retry / timeout /
+        quarantine policy as the sharded calls; a degraded call returns
+        ``[]`` (counted in ``repro_degraded_queries_total``).
+        """
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+
+        def run(worker: int, shard: np.ndarray) -> list[list[Neighbor]]:
+            index = self._indexes[worker]
+            b0 = time.perf_counter()
+            out = index.window(low, high)
+            on_pool_block("pool_window", time.perf_counter() - b0,
+                          self._slo_ms)
+            return [out]
+
+        # One placeholder "query" row: the scatter machinery routes it
+        # to a single healthy worker and applies the resilience policy.
+        placeholder = np.zeros((1, self.dims))
+        return self._scatter(placeholder, run, timeout=timeout)[0]
+
+    def lookup(self, point, *, timeout: float | None = None) -> list[object]:
+        """Exact-match point query: every payload stored at ``point``.
+
+        Same degenerate-window identity as
+        :meth:`repro.indexes.base.SpatialIndex.lookup`.
+        """
+        return [n.value for n in self.window(point, point, timeout=timeout)]
 
     def _sync_db(self) -> None:
         """Make the live database's committed state snapshot-visible.
@@ -407,9 +505,12 @@ class ServingPool:
             available.append(worker)
         return available
 
-    def _scatter(self, queries: np.ndarray, run, *, with_flags: bool = False):
+    def _scatter(self, queries: np.ndarray, run, *, with_flags: bool = False,
+                 timeout: float | None = None):
         if self._closed:
             raise RuntimeError("serving pool is closed")
+        if timeout is None:
+            timeout = self._timeout
         n = queries.shape[0]
         if n == 0:
             # Nothing to serve: an empty block is trivially complete —
@@ -438,8 +539,8 @@ class ServingPool:
                      self._run_with_retries, run, worker, queries[shard]
                  ))
             )
-        deadline = (None if self._timeout is None
-                    else time.monotonic() + self._timeout)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         results: list[list[Neighbor] | None] = [None] * n
         complete = [True] * n
         for worker, shard, future in futures:

@@ -57,6 +57,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
+import warnings
 
 import numpy as np
 
@@ -71,6 +72,7 @@ from ..obs.hooks import (
 )
 from ..obs.registry import REGISTRY
 from ..storage.stats import IOStats
+from .parallel import _unbatch
 
 __all__ = ["ProcessServingPool", "DEFAULT_START_METHOD"]
 
@@ -140,6 +142,19 @@ def _run_blocks(index, op: str, queries: np.ndarray, kwargs: dict,
 
     out: list[list[Neighbor]] = []
     times: list[tuple[float, int]] = []
+    if op == "window":
+        # queries is the stacked (2, dims) [low; high] pair — one call,
+        # one result list, same retry policy as a block.
+        b0 = time.perf_counter()
+        for attempt in range(retries + 1):
+            try:
+                result = index.window(queries[0], queries[1])
+                break
+            except TransientIOError:
+                if attempt == retries:
+                    raise
+                time.sleep(backoff * (2 ** attempt))
+        return [result], [((time.perf_counter() - b0) * 1e3, 1)]
     if op == "knn":
         k = kwargs["k"]
         batched = kwargs.get("batched", True)
@@ -205,6 +220,7 @@ def _worker_main(conn, path: str, opts: dict) -> None:
         conn.send(("ready", {
             "dims": index.dims,
             "kind": index.NAME,
+            "size": index.size,
             "pid": os.getpid(),
         }))
         counters = _counter_snapshot()
@@ -288,8 +304,18 @@ class ProcessServingPool:
         slo_ms: float | None = None,
         start_method: str | None = None,
         _test_delay_s: float = 0.0,
+        _sanctioned: bool = False,
     ) -> None:
         from ..api import Database
+
+        if not _sanctioned:
+            warnings.warn(
+                "constructing ProcessServingPool directly is deprecated; "
+                "use ServingPool(source, backend='process') — same pool, "
+                "one sanctioned entry point",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
         if isinstance(source, Database):
             raise ValueError(
@@ -335,6 +361,7 @@ class ProcessServingPool:
         self._respawn_counts: dict[int, int] = {}
         self._dims: int | None = None
         self._kind: str | None = None
+        self._size: int | None = None
         self._pids: list[int | None] = [None] * count
         self._closed = False
         try:
@@ -386,6 +413,7 @@ class ProcessServingPool:
         info = msg[1]
         self._dims = info["dims"]
         self._kind = info["kind"]
+        self._size = info.get("size")
         self._pids[idx] = info["pid"]
         self._procs[idx] = proc
         self._conns[idx] = parent_conn
@@ -428,6 +456,21 @@ class ProcessServingPool:
         return "process"
 
     @property
+    def kind(self) -> str:
+        """Registry name of the served index family."""
+        return self._kind
+
+    @property
+    def size(self) -> int:
+        """Number of points in the served (immutable) file."""
+        return self._size
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
+        return self._closed
+
+    @property
     def degraded_queries(self) -> int:
         """Queries answered with empty (degraded) results so far."""
         return self._degraded_queries
@@ -452,32 +495,76 @@ class ProcessServingPool:
 
     def knn(self, queries, k: int = 1, *, batched: bool = True,
             block_size: int | None = None, with_flags: bool = False,
-            with_times: bool = False):
+            with_times: bool = False, timeout: float | None = None):
+        """The ``k`` nearest neighbors, single query or batch.
+
+        Shapes match :meth:`repro.exec.parallel.ServingPool.knn`: a 1-D
+        point returns one ``list[Neighbor]``, a 2-D batch one list per
+        query.
+        """
+        if np.asarray(queries).ndim == 1:
+            return _unbatch(self.knn_batch(
+                np.asarray(queries, dtype=np.float64)[None, :], k,
+                batched=batched, block_size=block_size,
+                with_flags=with_flags, with_times=with_times,
+                timeout=timeout,
+            ), with_flags, with_times)
+        return self.knn_batch(queries, k, batched=batched,
+                              block_size=block_size, with_flags=with_flags,
+                              with_times=with_times, timeout=timeout)
+
+    def knn_batch(self, queries, k: int = 1, *, batched: bool = True,
+                  block_size: int | None = None, with_flags: bool = False,
+                  with_times: bool = False, timeout: float | None = None):
         """The ``k`` nearest neighbors of every query, in input order.
 
-        Semantics (``batched``, ``with_flags``, ``with_times``) match
-        :meth:`repro.exec.parallel.ServingPool.knn` exactly; the
+        Semantics (``batched``, ``with_flags``, ``with_times``,
+        ``timeout``) match
+        :meth:`repro.exec.parallel.ServingPool.knn_batch` exactly; the
         results are byte-for-byte those of single-query search.
         """
         queries = as_points(queries, self.dims)
         results, complete, times = self._scatter(
             "knn", queries,
             {"k": k, "batched": batched, "block_size": block_size},
-            "pool_knn",
+            "pool_knn", timeout=timeout,
         )
         return self._package(results, complete, times, with_flags,
                              with_times)
 
     def range(self, queries, radius: float, *, with_flags: bool = False,
-              with_times: bool = False):
-        """All stored points within ``radius`` of every query, in input
-        order; flags/times behave as in :meth:`knn`."""
+              with_times: bool = False, timeout: float | None = None):
+        """All stored points within ``radius``, single query or batch;
+        shapes and flags behave as in :meth:`knn`."""
+        single = np.asarray(queries).ndim == 1
         queries = as_points(queries, self.dims)
         results, complete, times = self._scatter(
             "range", queries, {"radius": radius}, "pool_range",
+            timeout=timeout,
         )
-        return self._package(results, complete, times, with_flags,
-                             with_times)
+        out = self._package(results, complete, times, with_flags,
+                            with_times)
+        return _unbatch(out, with_flags, with_times) if single else out
+
+    def window(self, low, high, *, timeout: float | None = None
+               ) -> list[Neighbor]:
+        """All stored points inside the box ``[low, high]``.
+
+        Runs on one worker process under the usual degrade/respawn
+        policy; a degraded call returns ``[]``.
+        """
+        pair = np.stack([
+            np.asarray(low, dtype=np.float64),
+            np.asarray(high, dtype=np.float64),
+        ])
+        results, _complete, _times = self._scatter(
+            "window", pair, {}, "pool_window", timeout=timeout, whole=True,
+        )
+        return results[0]
+
+    def lookup(self, point, *, timeout: float | None = None) -> list[object]:
+        """Exact-match point query: every payload stored at ``point``."""
+        return [n.value for n in self.window(point, point, timeout=timeout)]
 
     @staticmethod
     def _package(results, complete, times, with_flags, with_times):
@@ -487,31 +574,41 @@ class ProcessServingPool:
         return out
 
     def _scatter(self, op: str, queries: np.ndarray, kwargs: dict,
-                 slo_op: str):
+                 slo_op: str, *, timeout: float | None = None,
+                 whole: bool = False):
         if self._closed:
             raise RuntimeError("serving pool is closed")
-        n = queries.shape[0]
+        if timeout is None:
+            timeout = self._timeout
+        if whole:
+            # The payload is one opaque argument block (e.g. a window's
+            # stacked [low; high] pair), not per-query rows: ship it
+            # intact to a single worker, expect a single result.
+            n = 1
+            shards = [(0, np.arange(1), queries)]
+        else:
+            n = queries.shape[0]
+            shards = [
+                (idx, shard, queries[shard])
+                for idx, shard in enumerate(
+                    np.array_split(np.arange(n), self.workers)
+                )
+                if shard.size
+            ]
         results: list[list[Neighbor] | None] = [None] * n
         complete = [True] * n
         times: list[tuple[float, int]] = []
-        if n == 0:
+        if queries.shape[0] == 0:
             return results, complete, times
-        shards = [
-            (idx, shard)
-            for idx, shard in enumerate(
-                np.array_split(np.arange(n), self.workers)
-            )
-            if shard.size
-        ]
         sent: list[tuple[int, np.ndarray, str | None]] = []
-        for idx, shard in shards:
+        for idx, shard, payload in shards:
             try:
-                self._conns[idx].send(("query", op, queries[shard], kwargs))
+                self._conns[idx].send(("query", op, payload, kwargs))
                 sent.append((idx, shard, None))
             except (BrokenPipeError, OSError):
                 sent.append((idx, shard, "worker_died"))
-        deadline = (None if self._timeout is None
-                    else time.monotonic() + self._timeout)
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         errors: list[str] = []
         for idx, shard, reason in sent:
             if reason is None:

@@ -1,0 +1,377 @@
+"""The remote query handle: :class:`RemoteDatabase`.
+
+``RemoteDatabase.connect(addr)`` is a drop-in replacement for
+``Database.open(path)`` on the query side: it implements the same
+:class:`~repro.api.QuerySurface` protocol, returns the same
+:class:`~repro.indexes.base.Neighbor` objects, and raises the same
+library exceptions (the server ships the exception *type name* in its
+400 error document and the client re-raises the local class), so code
+written against a local handle moves behind the network with zero
+call-site changes.
+
+Transport is a single persistent ``http.client.HTTPConnection``
+(HTTP/1.1 keep-alive) guarded by a lock.  Read requests that fail at
+the socket layer reconnect and retry once; mutations never auto-retry
+(the failure may have landed after the server applied the write).
+Batch queries ship the compact binary ndarray codec from
+:mod:`repro.net.protocol` by default — pass ``binary=False`` to force
+JSON bodies (useful against debugging proxies).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import numpy as np
+
+from .. import exceptions
+from ..exceptions import (
+    DeadlineExceededError,
+    NetError,
+    RemoteError,
+    ServerOverloadedError,
+)
+from . import protocol
+
+__all__ = ["RemoteDatabase"]
+
+#: Exception classes the client will re-raise from a 400 error document.
+#: A whitelist, not ``getattr(builtins, ...)``: the server names a type,
+#: the client only ever instantiates types it already trusts.
+_RERAISABLE: dict[str, type] = {
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+    "LookupError": LookupError,
+    "NotImplementedError": NotImplementedError,
+}
+_RERAISABLE.update({
+    name: obj
+    for name, obj in vars(exceptions).items()
+    if isinstance(obj, type) and issubclass(obj, exceptions.ReproError)
+})
+
+
+class RemoteDatabase:
+    """A network-backed query handle with the local-handle query API.
+
+    Use :meth:`connect`; the constructor is an implementation detail.
+
+    ::
+
+        with RemoteDatabase.connect("localhost:8750") as db:
+            neighbors = db.knn([0.1] * db.dims, k=5)
+    """
+
+    def __init__(self, host: str, port: int, *, token: str | None,
+                 timeout: float, deadline_ms: float | None,
+                 binary: bool) -> None:
+        self._host = host
+        self._port = port
+        self._token = token
+        self._timeout = timeout
+        self._deadline_ms = deadline_ms
+        self._binary = binary
+        self._lock = threading.Lock()
+        self._conn: http.client.HTTPConnection | None = None
+        self._closed = False
+        self._descriptor = self._request_json("GET", "server")
+        if self._descriptor.get("protocol") != protocol.PROTOCOL_VERSION:
+            self.close()
+            raise NetError(
+                f"server speaks protocol "
+                f"{self._descriptor.get('protocol')!r}, this client speaks "
+                f"{protocol.PROTOCOL_VERSION}")
+
+    @classmethod
+    def connect(cls, address: str, *, token: str | None = None,
+                timeout: float = 10.0, deadline_ms: float | None = None,
+                binary: bool = True) -> "RemoteDatabase":
+        """Open a remote handle to a :class:`~repro.net.QueryServer`.
+
+        Parameters
+        ----------
+        address:
+            ``"host:port"`` or ``"http://host:port"``.
+        token:
+            Shared secret for mutation endpoints (reads need none).
+        timeout:
+            Socket-level timeout per request, seconds.
+        deadline_ms:
+            Default ``X-Repro-Deadline-Ms`` budget attached to every
+            query; per-call ``deadline_ms=`` overrides it.
+        binary:
+            Use the binary ndarray codec for batch bodies (default).
+        """
+        if address.startswith("http://"):
+            address = address[len("http://"):]
+        elif address.startswith("https://"):
+            raise NetError("the repro query protocol is plain HTTP; "
+                           "terminate TLS in front of the server")
+        address = address.rstrip("/")
+        host, sep, port_text = address.rpartition(":")
+        if not sep:
+            raise NetError(f"address {address!r} is missing a port; "
+                           f"expected 'host:port'")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise NetError(f"invalid port in address {address!r}") from None
+        return cls(host or "127.0.0.1", port, token=token, timeout=timeout,
+                   deadline_ms=deadline_ms, binary=binary)
+
+    # ------------------------------------------------------------------
+    # transport
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout)
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def _request(self, method: str, endpoint: str, body: bytes | None,
+                 headers: dict, *, retry: bool) -> tuple[int, dict, bytes]:
+        """One round trip; returns ``(status, response_headers, body)``."""
+        if self._closed:
+            raise NetError("this RemoteDatabase is closed")
+        with self._lock:
+            attempts = 2 if retry else 1
+            for attempt in range(attempts):
+                conn = self._connection()
+                try:
+                    conn.request(method, f"/v1/{endpoint}", body=body,
+                                 headers=headers)
+                    response = conn.getresponse()
+                    payload = response.read()
+                except (OSError, http.client.HTTPException) as exc:
+                    self._drop_connection()
+                    if attempt + 1 < attempts:
+                        continue
+                    raise NetError(
+                        f"request to {self._host}:{self._port}"
+                        f"/v1/{endpoint} failed: {exc!r}") from exc
+                if response.will_close:
+                    self._drop_connection()
+                return (response.status,
+                        {k.lower(): v for k, v in response.getheaders()},
+                        payload)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _headers(self, content_type: str | None,
+                 deadline_ms: float | None) -> dict:
+        headers = {}
+        if content_type is not None:
+            headers["Content-Type"] = content_type
+        budget = self._deadline_ms if deadline_ms is None else deadline_ms
+        if budget is not None:
+            headers[protocol.DEADLINE_HEADER] = f"{float(budget):g}"
+        if self._token is not None:
+            headers[protocol.TOKEN_HEADER] = self._token
+        return headers
+
+    def _call(self, endpoint: str, doc: dict | None = None, *,
+              method: str = "POST", body: bytes | None = None,
+              content_type: str | None = None,
+              deadline_ms: float | None = None,
+              extra_headers: dict | None = None,
+              mutation: bool = False) -> tuple[dict | None, bytes, str]:
+        if body is None and doc is not None:
+            body = json.dumps(doc).encode("utf-8")
+            content_type = protocol.JSON_CONTENT_TYPE
+        headers = self._headers(content_type, deadline_ms)
+        headers.update(extra_headers or {})
+        status, resp_headers, payload = self._request(
+            method, endpoint, body, headers, retry=not mutation)
+        resp_type = resp_headers.get("content-type", "").split(";")[0]
+        if status == 200:
+            if resp_type == protocol.JSON_CONTENT_TYPE:
+                return json.loads(payload), payload, resp_type
+            return None, payload, resp_type
+        self._raise_for(status, resp_headers, payload, endpoint)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _raise_for(self, status: int, headers: dict, payload: bytes,
+                   endpoint: str) -> None:
+        try:
+            doc = json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            doc = {}
+        message = doc.get("error", f"HTTP {status} from /v1/{endpoint}")
+        error_type = doc.get("error_type")
+        if status in (429, 503):
+            retry_after = headers.get("retry-after")
+            raise ServerOverloadedError(
+                message,
+                retry_after=float(retry_after) if retry_after else None)
+        if status == 504:
+            raise DeadlineExceededError(message)
+        if status in (400, 405) and error_type in _RERAISABLE:
+            raise _RERAISABLE[error_type](message)
+        raise RemoteError(f"HTTP {status} from /v1/{endpoint}: {message}",
+                          remote_type=error_type)
+
+    # ------------------------------------------------------------------
+    # descriptor / lifecycle
+
+    def _request_json(self, method: str, endpoint: str) -> dict:
+        doc, _, _ = self._call(endpoint, method=method)
+        if doc is None:
+            raise NetError(f"/v1/{endpoint} returned a non-JSON response")
+        return doc
+
+    @property
+    def dims(self) -> int:
+        return self._descriptor["dims"]
+
+    @property
+    def kind(self) -> str:
+        return self._descriptor["kind"]
+
+    @property
+    def size(self) -> int:
+        """Live size, re-fetched from the server."""
+        return self._request_json("GET", "server")["size"]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._host, self._port
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            self._drop_connection()
+
+    def __enter__(self) -> "RemoteDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"<RemoteDatabase {self._host}:{self._port} "
+                f"kind={self._descriptor.get('kind')} {state}>")
+
+    # ------------------------------------------------------------------
+    # QuerySurface
+
+    def knn(self, point, k: int = 1, *, algorithm: str | None = None,
+            deadline_ms: float | None = None, **kwargs):
+        from ..api import validate_query_kwargs
+
+        validate_query_kwargs("knn", kwargs, allowed=())
+        doc = {"point": _vector(point), "k": int(k)}
+        if algorithm is not None:
+            doc["algorithm"] = algorithm
+        response, _, _ = self._call("knn", doc, deadline_ms=deadline_ms)
+        return protocol.neighbors_from_doc(response["neighbors"])
+
+    def knn_batch(self, points, k: int = 1, *,
+                  deadline_ms: float | None = None):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError(
+                f"knn_batch expects a (n, dims) batch, got shape "
+                f"{points.shape}")
+        if self._binary:
+            response, payload, resp_type = self._call(
+                "knn_batch",
+                body=protocol.encode_matrix(points),
+                content_type=protocol.BINARY_CONTENT_TYPE,
+                extra_headers={protocol.K_HEADER: str(int(k))},
+                deadline_ms=deadline_ms)
+            if resp_type == protocol.NEIGHBORS_CONTENT_TYPE:
+                return protocol.decode_neighbor_block(payload)
+            if response is None:
+                raise NetError(
+                    f"unexpected knn_batch response type {resp_type!r}")
+        else:
+            response, _, _ = self._call(
+                "knn_batch", {"points": points.tolist(), "k": int(k)},
+                deadline_ms=deadline_ms)
+        return [protocol.neighbors_from_doc(r) for r in response["results"]]
+
+    def range(self, point, radius: float, *,
+              deadline_ms: float | None = None):
+        response, _, _ = self._call(
+            "range", {"point": _vector(point), "radius": float(radius)},
+            deadline_ms=deadline_ms)
+        return protocol.neighbors_from_doc(response["neighbors"])
+
+    def window(self, low, high, *, deadline_ms: float | None = None):
+        response, _, _ = self._call(
+            "window", {"low": _vector(low), "high": _vector(high)},
+            deadline_ms=deadline_ms)
+        return protocol.neighbors_from_doc(response["neighbors"])
+
+    def lookup(self, point, *, deadline_ms: float | None = None):
+        response, _, _ = self._call("lookup", {"point": _vector(point)},
+                                    deadline_ms=deadline_ms)
+        return response["values"]
+
+    def stats(self) -> dict:
+        return self._request_json("GET", "stats")["stats"]
+
+    def explain(self, point, k: int = 1) -> dict:
+        response, _, _ = self._call(
+            "explain", {"point": _vector(point), "k": int(k)})
+        return response["explain"]
+
+    def server_info(self) -> dict:
+        """The live service descriptor (protocol, limits, draining...)."""
+        return self._request_json("GET", "server")
+
+    # ------------------------------------------------------------------
+    # mutations (token-authenticated, never auto-retried)
+
+    def insert(self, point, value=None) -> int:
+        doc = {"point": _vector(point)}
+        if value is not None:
+            doc["value"] = value
+        response, _, _ = self._call("insert", doc, mutation=True)
+        return response["size"]
+
+    def insert_many(self, points, values=None) -> int:
+        points = np.asarray(points, dtype=np.float64)
+        if values is None and self._binary and points.ndim == 2:
+            response, _, _ = self._call(
+                "insert_many",
+                body=protocol.encode_matrix(points),
+                content_type=protocol.BINARY_CONTENT_TYPE,
+                mutation=True)
+        else:
+            doc = {"points": points.tolist()}
+            if values is not None:
+                doc["values"] = list(values)
+            response, _, _ = self._call("insert_many", doc, mutation=True)
+        return response["size"]
+
+    def delete(self, point, value=...) -> int:
+        doc = {"point": _vector(point)}
+        if value is not ...:
+            doc["value"] = value
+        response, _, _ = self._call("delete", doc, mutation=True)
+        return response["size"]
+
+
+def _vector(values) -> list[float]:
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"expected a single vector, got shape {array.shape}")
+    return array.tolist()

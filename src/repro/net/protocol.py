@@ -1,0 +1,245 @@
+"""The formal wire protocol shared by :class:`QueryServer` and
+:class:`RemoteDatabase`.
+
+One HTTP/1.1 service under ``/v1``:
+
+=====================  ======  =============================================
+endpoint               method  body
+=====================  ======  =============================================
+``/v1/server``         GET     — (service descriptor: protocol, dims, ...)
+``/v1/knn``            POST    ``{"point": [...], "k": 3, "algorithm"?}``
+``/v1/knn_batch``      POST    ``{"points": [[...]], "k": 3}`` *or* a binary
+                               matrix body (``k`` via ``X-Repro-K``)
+``/v1/range``          POST    ``{"point": [...], "radius": 0.5}``
+``/v1/window``         POST    ``{"low": [...], "high": [...]}``
+``/v1/lookup``         POST    ``{"point": [...]}``
+``/v1/stats``          GET     —
+``/v1/explain``        POST    ``{"point": [...], "k": 3}``
+``/v1/insert``         POST    ``{"point": [...], "value"?}`` (auth)
+``/v1/insert_many``    POST    ``{"points": [[...]], "values"?}`` *or* a
+                               binary matrix body (auth)
+``/v1/delete``         POST    ``{"point": [...], "value"?}`` (auth)
+=====================  ======  =============================================
+
+Headers:
+
+* ``X-Repro-Deadline-Ms`` — the client's remaining latency budget in
+  milliseconds.  The server sheds the request (504) if the budget is
+  already spent on arrival or expires while queued, and propagates the
+  remainder into the serving pools' per-call ``timeout=``.
+* ``X-Repro-Token`` — the shared secret required by mutation endpoints.
+* ``X-Repro-K`` — ``k`` for binary-body ``knn_batch`` requests.
+
+Statuses: ``200`` success; ``400`` invalid request (the JSON error
+document's ``error_type`` names the library exception to re-raise
+client-side); ``401`` bad/missing token; ``403`` mutations disabled;
+``404`` unknown endpoint; ``405`` operation unsupported by the served
+handle; ``413`` oversized body; ``429`` shed by admission control
+(``Retry-After`` set); ``503`` draining for shutdown; ``504`` deadline
+expired.
+
+**Binary matrix codec.**  JSON float lists are 3-4x the wire size of the
+raw ndarray and dominate batch-query encode time, so batch bodies may
+instead use a compact binary frame (``Content-Type:``
+:data:`BINARY_CONTENT_TYPE`)::
+
+    b"RPM1" | u8 dtype | u8 ndim | u16 pad | ndim * u64 shape | raw LE data
+
+Batch *responses* use a neighbor-block frame that carries every result
+matrix in two ndarrays plus one JSON prelude for the payload values::
+
+    b"RPN1" | u32 json_len | {"counts": [...], "values": [[...], ...]}
+            | matrix(distances, (total,)) | matrix(points, (total, D))
+
+Both framings are versioned by their magic; unknown magic raises
+:class:`~repro.exceptions.NetError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from ..exceptions import NetError
+from ..indexes.base import Neighbor
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEADLINE_HEADER",
+    "TOKEN_HEADER",
+    "K_HEADER",
+    "JSON_CONTENT_TYPE",
+    "BINARY_CONTENT_TYPE",
+    "NEIGHBORS_CONTENT_TYPE",
+    "READ_ENDPOINTS",
+    "WRITE_ENDPOINTS",
+    "ENDPOINTS",
+    "encode_matrix",
+    "decode_matrix",
+    "neighbors_to_doc",
+    "neighbors_from_doc",
+    "encode_neighbor_block",
+    "decode_neighbor_block",
+    "error_doc",
+]
+
+PROTOCOL_VERSION = 1
+
+DEADLINE_HEADER = "X-Repro-Deadline-Ms"
+TOKEN_HEADER = "X-Repro-Token"
+K_HEADER = "X-Repro-K"
+
+JSON_CONTENT_TYPE = "application/json"
+BINARY_CONTENT_TYPE = "application/x-repro-matrix"
+NEIGHBORS_CONTENT_TYPE = "application/x-repro-neighbors"
+
+#: Read endpoints, available on every served handle kind.
+READ_ENDPOINTS = (
+    "server", "knn", "knn_batch", "range", "window", "lookup", "stats",
+    "explain",
+)
+#: Mutation endpoints; require an auth token and a mutable source.
+WRITE_ENDPOINTS = ("insert", "insert_many", "delete")
+ENDPOINTS = READ_ENDPOINTS + WRITE_ENDPOINTS
+
+_MATRIX_MAGIC = b"RPM1"
+_NEIGHBORS_MAGIC = b"RPN1"
+_DTYPES = {0: np.dtype("<f8"), 1: np.dtype("<f4"), 2: np.dtype("<i8")}
+_DTYPE_CODES = {dtype: code for code, dtype in _DTYPES.items()}
+_MATRIX_HEADER = struct.Struct("<4sBBH")
+
+
+def encode_matrix(array) -> bytes:
+    """Serialize an ndarray into the binary matrix frame."""
+    array = np.ascontiguousarray(array)
+    dtype = array.dtype.newbyteorder("<")
+    if dtype not in _DTYPE_CODES:
+        array = np.ascontiguousarray(array, dtype=np.float64)
+        dtype = np.dtype("<f8")
+    code = _DTYPE_CODES[dtype]
+    header = _MATRIX_HEADER.pack(_MATRIX_MAGIC, code, array.ndim, 0)
+    shape = struct.pack(f"<{array.ndim}Q", *array.shape)
+    return header + shape + array.astype(dtype, copy=False).tobytes()
+
+
+def decode_matrix(payload: bytes, offset: int = 0) -> tuple[np.ndarray, int]:
+    """Decode one matrix frame; returns ``(array, next_offset)``.
+
+    The returned array is a read-only zero-copy view over ``payload``
+    when alignment allows (the same ``np.frombuffer`` discipline the
+    page decoder uses).
+    """
+    end = offset + _MATRIX_HEADER.size
+    if len(payload) < end:
+        raise NetError("truncated matrix frame (short header)")
+    magic, code, ndim, _pad = _MATRIX_HEADER.unpack_from(payload, offset)
+    if magic != _MATRIX_MAGIC:
+        raise NetError(f"bad matrix frame magic {magic!r}")
+    if code not in _DTYPES:
+        raise NetError(f"unknown matrix dtype code {code}")
+    shape_end = end + 8 * ndim
+    if len(payload) < shape_end:
+        raise NetError("truncated matrix frame (short shape)")
+    shape = struct.unpack_from(f"<{ndim}Q", payload, end)
+    dtype = _DTYPES[code]
+    count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+    data_end = shape_end + count * dtype.itemsize
+    if len(payload) < data_end:
+        raise NetError("truncated matrix frame (short data)")
+    array = np.frombuffer(
+        payload, dtype=dtype, count=count, offset=shape_end
+    ).reshape(shape)
+    return array, data_end
+
+
+def _json_value(value):
+    """Reject payload values the JSON wire format cannot round-trip."""
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        raise NetError(
+            f"payload value {value!r} is not JSON-representable; the "
+            f"network protocol carries JSON payload values only"
+        ) from None
+    return value
+
+
+def neighbors_to_doc(neighbors: list[Neighbor]) -> list[dict]:
+    """One query's result list as JSON-ready dicts."""
+    return [
+        {
+            "distance": float(n.distance),
+            "point": np.asarray(n.point, dtype=np.float64).tolist(),
+            "value": _json_value(n.value),
+        }
+        for n in neighbors
+    ]
+
+
+def neighbors_from_doc(doc: list[dict]) -> list[Neighbor]:
+    """Rebuild a result list from its JSON document."""
+    return [
+        Neighbor(
+            distance=float(entry["distance"]),
+            point=np.asarray(entry["point"], dtype=np.float64),
+            value=entry["value"],
+        )
+        for entry in doc
+    ]
+
+
+def encode_neighbor_block(results: list[list[Neighbor]]) -> bytes:
+    """Serialize batched results into the binary neighbor-block frame."""
+    counts = [len(r) for r in results]
+    values = [[_json_value(n.value) for n in r] for r in results]
+    total = sum(counts)
+    flat = [n for r in results for n in r]
+    distances = np.fromiter(
+        (n.distance for n in flat), dtype=np.float64, count=total
+    )
+    if flat:
+        points = np.stack([np.asarray(n.point, np.float64) for n in flat])
+    else:
+        points = np.empty((0, 0), dtype=np.float64)
+    prelude = json.dumps({"counts": counts, "values": values}).encode("utf-8")
+    return b"".join([
+        _NEIGHBORS_MAGIC,
+        struct.pack("<I", len(prelude)),
+        prelude,
+        encode_matrix(distances),
+        encode_matrix(points),
+    ])
+
+
+def decode_neighbor_block(payload: bytes) -> list[list[Neighbor]]:
+    """Decode the binary neighbor-block frame back into result lists."""
+    if len(payload) < 8 or payload[:4] != _NEIGHBORS_MAGIC:
+        raise NetError("bad neighbor-block frame magic")
+    (json_len,) = struct.unpack_from("<I", payload, 4)
+    prelude_end = 8 + json_len
+    if len(payload) < prelude_end:
+        raise NetError("truncated neighbor-block frame (short prelude)")
+    prelude = json.loads(payload[8:prelude_end])
+    counts, values = prelude["counts"], prelude["values"]
+    distances, offset = decode_matrix(payload, prelude_end)
+    points, _ = decode_matrix(payload, offset)
+    results: list[list[Neighbor]] = []
+    row = 0
+    for count, value_row in zip(counts, values):
+        results.append([
+            Neighbor(
+                distance=float(distances[row + i]),
+                point=np.array(points[row + i], dtype=np.float64),
+                value=value_row[i],
+            )
+            for i in range(count)
+        ])
+        row += count
+    return results
+
+
+def error_doc(exc: BaseException) -> dict:
+    """The JSON error document for a server-side exception."""
+    return {"error": str(exc), "error_type": type(exc).__name__}

@@ -1,0 +1,685 @@
+"""The network query server: one index handle served over HTTP/1.1.
+
+:class:`QueryServer` fronts any :class:`~repro.api.QuerySurface`
+implementation — a :class:`~repro.api.Database`, a
+:class:`~repro.api.Snapshot`, or a live serving pool — with the wire
+protocol defined in :mod:`repro.net.protocol`.  It is deliberately
+dependency-free (``http.server`` + threads), mirroring the telemetry
+server, but unlike the telemetry server it is a *data plane* and gets
+the production behaviors that implies:
+
+* **Admission control.**  At most ``max_inflight`` requests execute at
+  once; up to ``max_queue`` more wait for a slot.  Overflow is shed
+  immediately with 429 and a ``Retry-After`` hint — a bounded queue
+  keeps tail latency flat instead of letting a burst convoy every
+  later request (the same reasoning as the pools' bounded block
+  queues).
+* **Deadline propagation.**  ``X-Repro-Deadline-Ms`` becomes an
+  absolute deadline on arrival.  Requests that are already expired (or
+  expire while queued) are shed with 504 *before any work is
+  dispatched*; admitted requests hand their remaining budget to the
+  serving pools' per-call ``timeout=``.
+* **Graceful drain.**  ``close()`` (or the CLI's SIGTERM handler)
+  stops accepting new work, sheds late arrivals with 503, waits for
+  every in-flight request to finish, then unbinds.  Zero admitted
+  queries are dropped.
+* **Keep-alive.**  HTTP/1.1 with explicit ``Content-Length`` on every
+  response, so clients reuse one connection across calls.
+
+Every request lands in the observability stack: shed decisions bump
+``repro_shed_requests_total{reason}``, served requests bump
+``repro_net_requests_total{endpoint,status}`` and the
+``repro_net_request_seconds`` histogram, and the event log sees the
+server lifecycle plus per-request DEBUG events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hmac
+import json
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..exceptions import NetError, ReproError
+from ..obs.events import DEBUG, EVENTS, INFO, WARN
+from ..obs.hooks import on_net_inflight, on_net_request, on_net_shed
+from . import protocol
+
+__all__ = ["QueryServer"]
+
+#: Upper bound on request bodies; far above any sane batch, low enough
+#: that a misbehaving client cannot balloon server memory.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Exceptions whose *type name* travels in the 400 error document so the
+#: client re-raises the same class locally.  Anything else is a 500.
+_CLIENT_ERRORS = (ReproError, ValueError, TypeError, KeyError, LookupError)
+
+
+class _Admission:
+    """Bounded in-flight + queue admission with deadline-aware waits.
+
+    ``acquire`` returns ``None`` when a slot was obtained, or the shed
+    reason (``"overload"`` / ``"deadline"`` / ``"draining"``) when the
+    request must be rejected without executing.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int,
+                 queue_timeout_s: float) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.queue_timeout_s = float(queue_timeout_s)
+        self._cv = threading.Condition()
+        self.inflight = 0
+        self.queued = 0
+        self.draining = False
+
+    def acquire(self, deadline: float | None) -> str | None:
+        with self._cv:
+            if self.draining:
+                return "draining"
+            if self.inflight < self.max_inflight:
+                self.inflight += 1
+                return None
+            if self.queued >= self.max_queue:
+                return "overload"
+            self.queued += 1
+            wait_started = time.monotonic()
+            try:
+                while True:
+                    if self.draining:
+                        return "draining"
+                    if self.inflight < self.max_inflight:
+                        self.inflight += 1
+                        return None
+                    now = time.monotonic()
+                    if deadline is not None and now >= deadline:
+                        return "deadline"
+                    patience = wait_started + self.queue_timeout_s - now
+                    if patience <= 0:
+                        return "overload"
+                    if deadline is not None:
+                        patience = min(patience, deadline - now)
+                    self._cv.wait(patience)
+            finally:
+                self.queued -= 1
+
+    def release(self) -> None:
+        with self._cv:
+            self.inflight -= 1
+            self._cv.notify_all()
+
+    def start_drain(self) -> None:
+        with self._cv:
+            self.draining = True
+            self._cv.notify_all()
+
+    def wait_idle(self, timeout: float | None) -> bool:
+        """Block until nothing is in flight or queued; True when idle."""
+        with self._cv:
+            return self._cv.wait_for(
+                lambda: self.inflight == 0 and self.queued == 0, timeout
+            )
+
+
+class QueryServer:
+    """Serve one query handle over the :mod:`repro.net.protocol` wire.
+
+    Parameters
+    ----------
+    source:
+        Any read handle — :class:`~repro.api.Database`,
+        :class:`~repro.api.Snapshot`, or a serving pool.  Mutation
+        endpoints additionally require the handle to expose
+        ``insert``/``insert_many``/``delete`` (pools do not).
+    host, port:
+        Bind address; ``port=0`` picks a free port (``.address`` has
+        the resolved one).
+    max_inflight, max_queue, queue_timeout_s:
+        Admission-control bounds: concurrent executions, waiting
+        requests beyond that, and how long a deadline-less request may
+        wait for a slot before being shed.
+    auth_token:
+        Shared secret for mutation endpoints.  ``None`` (default)
+        disables mutations entirely (403).
+    drain_timeout_s:
+        How long ``close()`` waits for in-flight requests before
+        giving up and unbinding anyway.
+    """
+
+    def __init__(self, source, *, host: str = "127.0.0.1", port: int = 0,
+                 max_inflight: int = 8, max_queue: int = 16,
+                 queue_timeout_s: float = 2.0,
+                 auth_token: str | None = None,
+                 drain_timeout_s: float = 30.0) -> None:
+        self._source = source
+        self._auth_token = auth_token
+        self._drain_timeout_s = float(drain_timeout_s)
+        self._admission = _Admission(max_inflight, max_queue, queue_timeout_s)
+        # Serving pools take a per-call timeout=; plain handles do not.
+        self._pooled = hasattr(source, "worker_stats")
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._shed = {"overload": 0, "deadline": 0, "draining": 0}
+        self._served = 0
+        self._stats_lock = threading.Lock()
+
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+            # Identify the service, not the Python stdlib version.
+            server_version = f"repro-query/{protocol.PROTOCOL_VERSION}"
+            sys_version = ""
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                server._handle(self, body_allowed=False)
+
+            def do_POST(self) -> None:  # noqa: N802 (http.server API)
+                server._handle(self, body_allowed=True)
+
+            def log_message(self, fmt: str, *args) -> None:
+                if EVENTS.enabled_for(DEBUG):
+                    EVENTS.emit("query_server_log", level=DEBUG,
+                                message=fmt % args)
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-query-server",
+            daemon=True,
+        )
+        self._thread.start()
+        EVENTS.emit("query_server_started", level=INFO,
+                    host=self.address[0], port=self.address[1],
+                    max_inflight=max_inflight, max_queue=max_queue,
+                    mutations=auth_token is not None)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def draining(self) -> bool:
+        return self._admission.draining
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def describe(self) -> dict:
+        """A live snapshot of server health for /varz-style surfaces."""
+        adm = self._admission
+        with self._stats_lock:
+            shed = dict(self._shed)
+            served = self._served
+        return {
+            "address": f"{self.address[0]}:{self.address[1]}",
+            "inflight": adm.inflight,
+            "queued": adm.queued,
+            "max_inflight": adm.max_inflight,
+            "max_queue": adm.max_queue,
+            "served": served,
+            "shed": shed,
+            "draining": adm.draining,
+            "closed": self._closed,
+        }
+
+    def close(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, unbind.
+
+        Safe to call from any thread (the CLI calls it from a SIGTERM
+        handler) and idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        EVENTS.emit("query_server_draining", level=INFO,
+                    inflight=self._admission.inflight,
+                    queued=self._admission.queued)
+        self._admission.start_drain()
+        # Stop the accept loop first so no new connections race the wait.
+        self._httpd.shutdown()
+        drained = self._admission.wait_idle(self._drain_timeout_s)
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+        EVENTS.emit("query_server_stopped", level=INFO if drained else WARN,
+                    drained=drained, served=self._served)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # request plumbing
+
+    def _handle(self, handler: BaseHTTPRequestHandler,
+                body_allowed: bool) -> None:
+        started = time.monotonic()
+        endpoint = self._route(handler.path)
+        status = 500
+        try:
+            if endpoint is None:
+                self._discard_body(handler)
+                status = self._send_error(
+                    handler, 404,
+                    NetError(f"unknown endpoint {handler.path!r}; "
+                             f"endpoints live under /v1/"))
+                return
+            deadline = self._parse_deadline(handler, started)
+            if deadline is _BAD_DEADLINE:
+                self._discard_body(handler)
+                status = self._send_error(
+                    handler, 400,
+                    ValueError(f"invalid {protocol.DEADLINE_HEADER} header"))
+                return
+            if endpoint in ("server", "stats"):
+                # Control-plane reads bypass admission: they must stay
+                # observable while the data plane is saturated.
+                status = self._dispatch(handler, endpoint, body_allowed,
+                                        deadline)
+                return
+            if deadline is not None and started >= deadline:
+                status = self._shed_response(handler, "deadline")
+                return
+            reason = self._admission.acquire(deadline)
+            if reason is not None:
+                status = self._shed_response(handler, reason)
+                return
+            on_net_inflight(self._admission.inflight)
+            try:
+                status = self._dispatch(handler, endpoint, body_allowed,
+                                        deadline)
+            finally:
+                self._admission.release()
+                on_net_inflight(self._admission.inflight)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client went away mid-request.  The query (if any)
+            # already ran; drop the response and keep the server loop
+            # healthy.
+            handler.close_connection = True
+            status = 499  # nginx's "client closed request" convention
+            if EVENTS.enabled_for(DEBUG):
+                EVENTS.emit("net_client_disconnected", level=DEBUG,
+                            endpoint=endpoint)
+        finally:
+            seconds = time.monotonic() - started
+            on_net_request(endpoint or "unknown", status, seconds)
+            with self._stats_lock:
+                if status < 400:
+                    self._served += 1
+            if EVENTS.enabled_for(DEBUG):
+                EVENTS.emit("net_request", level=DEBUG,
+                            endpoint=endpoint or handler.path,
+                            status=status, wall_ms=seconds * 1e3)
+
+    @staticmethod
+    def _route(path: str) -> str | None:
+        if not path.startswith("/v1/"):
+            return None
+        endpoint = path[len("/v1/"):].rstrip("/")
+        return endpoint if endpoint in protocol.ENDPOINTS else None
+
+    @staticmethod
+    def _parse_deadline(handler: BaseHTTPRequestHandler,
+                        started: float):
+        raw = handler.headers.get(protocol.DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            budget_ms = float(raw)
+        except ValueError:
+            return _BAD_DEADLINE
+        if not np.isfinite(budget_ms):
+            return _BAD_DEADLINE
+        return started + budget_ms / 1e3
+
+    @staticmethod
+    def _discard_body(handler: BaseHTTPRequestHandler) -> None:
+        """Consume an unread request body before an early response.
+
+        A response written with body bytes still unread desyncs the
+        keep-alive stream: the leftover body is parsed as the next
+        request line.  Small bodies are drained; oversized (or
+        unframed) ones close the connection instead of reading them.
+        """
+        try:
+            length = int(handler.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if 0 <= length <= 1 << 20:
+            if length:
+                handler.rfile.read(length)
+        else:
+            handler.close_connection = True
+
+    def _shed_response(self, handler: BaseHTTPRequestHandler,
+                       reason: str) -> int:
+        self._discard_body(handler)
+        status = {"overload": 429, "deadline": 504, "draining": 503}[reason]
+        with self._stats_lock:
+            self._shed[reason] += 1
+        on_net_shed(reason)
+        EVENTS.emit("request_shed", level=WARN, reason=reason,
+                    inflight=self._admission.inflight,
+                    queued=self._admission.queued)
+        headers = {}
+        if reason == "overload":
+            headers["Retry-After"] = "1"
+        doc = {"error": f"request shed: {reason}", "error_type": "shed",
+               "reason": reason}
+        self._send_json(handler, status, doc, headers=headers)
+        return status
+
+    def _send_error(self, handler: BaseHTTPRequestHandler, status: int,
+                    exc: BaseException) -> int:
+        self._send_json(handler, status, protocol.error_doc(exc))
+        return status
+
+    @staticmethod
+    def _send_json(handler: BaseHTTPRequestHandler, status: int,
+                   doc: dict, headers: dict | None = None) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", protocol.JSON_CONTENT_TYPE)
+        handler.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            handler.send_header(name, value)
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    @staticmethod
+    def _send_binary(handler: BaseHTTPRequestHandler, status: int,
+                     body: bytes, content_type: str) -> None:
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    @staticmethod
+    def _read_body(handler: BaseHTTPRequestHandler) -> bytes:
+        length = int(handler.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            raise _TooLarge(length)
+        return handler.rfile.read(length) if length else b""
+
+    # ------------------------------------------------------------------
+    # endpoint execution
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, endpoint: str,
+                  body_allowed: bool, deadline: float | None) -> int:
+        if endpoint in protocol.WRITE_ENDPOINTS:
+            auth_status = self._check_auth(handler)
+            if auth_status is not None:
+                return auth_status
+        try:
+            body = self._read_body(handler) if body_allowed else b""
+        except _TooLarge as exc:
+            handler.close_connection = True  # too big to drain
+            return self._send_error(
+                handler, 413,
+                NetError(f"request body of {exc.length} bytes exceeds the "
+                         f"{MAX_BODY_BYTES}-byte limit"))
+        content_type = (handler.headers.get("Content-Type") or
+                        protocol.JSON_CONTENT_TYPE).split(";")[0].strip()
+        try:
+            return self._execute(handler, endpoint, body, content_type,
+                                 deadline)
+        except NotImplementedError as exc:
+            return self._send_error(handler, 405, exc)
+        except _CLIENT_ERRORS as exc:
+            return self._send_error(handler, 400, exc)
+        except (BrokenPipeError, ConnectionResetError):
+            raise
+        except Exception as exc:  # pragma: no cover - defense in depth
+            EVENTS.emit("query_server_error", level=WARN,
+                        endpoint=endpoint, error=repr(exc))
+            return self._send_error(handler, 500, exc)
+
+    def _check_auth(self, handler: BaseHTTPRequestHandler) -> int | None:
+        if self._auth_token is None:
+            self._discard_body(handler)
+            return self._send_error(
+                handler, 403,
+                NetError("mutations are disabled: the server was started "
+                         "without an auth token"))
+        supplied = handler.headers.get(protocol.TOKEN_HEADER, "")
+        if not hmac.compare_digest(supplied.encode("utf-8"),
+                                   self._auth_token.encode("utf-8")):
+            self._discard_body(handler)
+            return self._send_error(
+                handler, 401,
+                NetError(f"missing or invalid {protocol.TOKEN_HEADER}"))
+        return None
+
+    def _pool_kwargs(self, deadline: float | None) -> dict:
+        """Per-call kwargs propagating the remaining budget into pools."""
+        if not self._pooled or deadline is None:
+            return {}
+        return {"timeout": max(deadline - time.monotonic(), 1e-3)}
+
+    def _execute(self, handler: BaseHTTPRequestHandler, endpoint: str,
+                 body: bytes, content_type: str,
+                 deadline: float | None) -> int:
+        source = self._source
+        pool_kw = self._pool_kwargs(deadline)
+
+        if endpoint == "server":
+            self._send_json(handler, 200, self._descriptor())
+            return 200
+
+        if endpoint == "stats":
+            self._send_json(handler, 200, {"stats": self._stats_doc()})
+            return 200
+
+        if endpoint == "knn_batch":
+            points, k = self._batch_request(handler, body, content_type)
+            results = source.knn_batch(points, k=k, **pool_kw)
+            if content_type == protocol.BINARY_CONTENT_TYPE:
+                self._send_binary(handler, 200,
+                                  protocol.encode_neighbor_block(results),
+                                  protocol.NEIGHBORS_CONTENT_TYPE)
+            else:
+                self._send_json(handler, 200, {
+                    "results": [protocol.neighbors_to_doc(r)
+                                for r in results],
+                })
+            return 200
+
+        binary_body = content_type == protocol.BINARY_CONTENT_TYPE
+        doc = {} if binary_body else self._json_doc(body)
+
+        if endpoint == "knn":
+            point = _required(doc, "point")
+            k = int(doc.get("k", 1))
+            kwargs = dict(pool_kw)
+            if "algorithm" in doc:
+                kwargs["algorithm"] = doc["algorithm"]
+            _reject_unknown(doc, {"point", "k", "algorithm"})
+            neighbors = source.knn(point, k=k, **kwargs)
+            self._send_json(handler, 200,
+                            {"neighbors": protocol.neighbors_to_doc(neighbors)})
+            return 200
+
+        if endpoint == "range":
+            point = _required(doc, "point")
+            radius = float(_required(doc, "radius"))
+            _reject_unknown(doc, {"point", "radius"})
+            neighbors = source.range(point, radius, **pool_kw)
+            self._send_json(handler, 200,
+                            {"neighbors": protocol.neighbors_to_doc(neighbors)})
+            return 200
+
+        if endpoint == "window":
+            low = _required(doc, "low")
+            high = _required(doc, "high")
+            _reject_unknown(doc, {"low", "high"})
+            neighbors = source.window(low, high, **pool_kw)
+            self._send_json(handler, 200,
+                            {"neighbors": protocol.neighbors_to_doc(neighbors)})
+            return 200
+
+        if endpoint == "lookup":
+            point = _required(doc, "point")
+            _reject_unknown(doc, {"point"})
+            values = source.lookup(point, **pool_kw)
+            self._send_json(handler, 200, {"values": list(values)})
+            return 200
+
+        if endpoint == "explain":
+            if not hasattr(source, "explain"):
+                raise NotImplementedError(
+                    f"the served handle ({type(source).__name__}) does not "
+                    f"support explain")
+            point = _required(doc, "point")
+            k = int(doc.get("k", 1))
+            _reject_unknown(doc, {"point", "k"})
+            self._send_json(handler, 200,
+                            {"explain": source.explain(point, k=k)})
+            return 200
+
+        if endpoint == "insert":
+            self._require_mutable("insert")
+            point = _required(doc, "point")
+            _reject_unknown(doc, {"point", "value"})
+            if "value" in doc:
+                source.insert(point, doc["value"])
+            else:
+                source.insert(point)
+            self._send_json(handler, 200, {"ok": True, "size": source.size})
+            return 200
+
+        if endpoint == "insert_many":
+            self._require_mutable("insert_many")
+            if binary_body:
+                points, _ = protocol.decode_matrix(body)
+                values = None
+            else:
+                points = _required(doc, "points")
+                values = doc.get("values")
+                _reject_unknown(doc, {"points", "values"})
+            if values is None:
+                source.insert_many(points)
+            else:
+                source.insert_many(points, values)
+            self._send_json(handler, 200, {"ok": True, "size": source.size})
+            return 200
+
+        if endpoint == "delete":
+            self._require_mutable("delete")
+            point = _required(doc, "point")
+            _reject_unknown(doc, {"point", "value"})
+            if "value" in doc:
+                source.delete(point, value=doc["value"])
+            else:
+                source.delete(point)
+            self._send_json(handler, 200, {"ok": True, "size": source.size})
+            return 200
+
+        raise NetError(f"unroutable endpoint {endpoint!r}")  # unreachable
+
+    def _require_mutable(self, op: str) -> None:
+        if not hasattr(self._source, op):
+            raise NotImplementedError(
+                f"the served handle ({type(self._source).__name__}) does "
+                f"not support {op}; serve a Database for mutations")
+
+    def _batch_request(self, handler: BaseHTTPRequestHandler, body: bytes,
+                       content_type: str):
+        if content_type == protocol.BINARY_CONTENT_TYPE:
+            points, _ = protocol.decode_matrix(body)
+            k = int(handler.headers.get(protocol.K_HEADER, 1))
+            return points, k
+        doc = self._json_doc(body)
+        points = _required(doc, "points")
+        k = int(doc.get("k", 1))
+        _reject_unknown(doc, {"points", "k"})
+        return np.asarray(points, dtype=np.float64), k
+
+    @staticmethod
+    def _json_doc(body: bytes) -> dict:
+        if not body:
+            return {}
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    def _descriptor(self) -> dict:
+        source = self._source
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "kind": getattr(source, "kind", None),
+            "dims": getattr(source, "dims", None),
+            "size": getattr(source, "size", None),
+            "backend": type(source).__name__,
+            "mutations": self._auth_token is not None
+            and hasattr(source, "insert"),
+            "max_inflight": self._admission.max_inflight,
+            "max_queue": self._admission.max_queue,
+            "draining": self._admission.draining,
+        }
+
+    def _stats_doc(self) -> dict:
+        stats = self._source.stats()
+        if dataclasses.is_dataclass(stats) and not isinstance(stats, type):
+            return dataclasses.asdict(stats)
+        if isinstance(stats, dict):
+            return {
+                key: dataclasses.asdict(value)
+                if dataclasses.is_dataclass(value)
+                and not isinstance(value, type) else value
+                for key, value in stats.items()
+            }
+        return {"stats": repr(stats)}
+
+
+#: Sentinel distinguishing "no deadline header" from "unparseable one".
+_BAD_DEADLINE = object()
+
+
+class _TooLarge(Exception):
+    def __init__(self, length: int) -> None:
+        super().__init__(str(length))
+        self.length = length
+
+
+def _required(doc: dict, key: str):
+    if key not in doc:
+        raise ValueError(f"request body is missing required field {key!r}")
+    return doc[key]
+
+
+def _reject_unknown(doc: dict, allowed: set) -> None:
+    unknown = sorted(set(doc) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown request field(s) {unknown}; allowed: {sorted(allowed)}")
+
+
+def _free_port(host: str = "127.0.0.1") -> int:
+    """A free TCP port on ``host`` (racy, for tests and CLIs only)."""
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]

@@ -57,6 +57,9 @@ __all__ = [
     "on_worker_released",
     "on_worker_respawned",
     "on_pool_block",
+    "on_net_request",
+    "on_net_shed",
+    "on_net_inflight",
 ]
 
 _enabled = os.environ.get("REPRO_OBS_METRICS", "1") != "0"
@@ -254,6 +257,30 @@ POOL_BLOCK_SECONDS = REGISTRY.histogram(
     "Serving-pool per-block wall time (one traversal block on one worker)",
     ("op",),
     buckets=DEFAULT_TIME_BUCKETS,
+)
+SHED_REQUESTS = REGISTRY.counter(
+    "repro_shed_requests_total",
+    "Requests shed by the query server's admission control, by reason "
+    "(overload = in-flight and queue bounds full, deadline = the "
+    "X-Repro-Deadline-Ms budget expired before dispatch, draining = "
+    "graceful shutdown in progress)",
+    ("reason",),
+)
+NET_REQUESTS = REGISTRY.counter(
+    "repro_net_requests_total",
+    "Query-server requests answered, by endpoint and HTTP status",
+    ("endpoint", "status"),
+)
+NET_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_net_request_seconds",
+    "Query-server request wall time, admission wait included",
+    ("endpoint",),
+    buckets=DEFAULT_TIME_BUCKETS,
+)
+NET_INFLIGHT = REGISTRY.gauge(
+    "repro_net_inflight_requests",
+    "Query-server requests currently executing (admitted, not finished)",
+    (),
 )
 
 
@@ -626,3 +653,45 @@ def on_pool_block(op: str, seconds: float,
     objective = slo_override_ms if slo_override_ms is not None else _slo_ms
     if objective is not None:
         _check_slo(op, seconds * 1e3, objective)
+
+
+def on_net_shed(reason: str) -> None:
+    """Record one request shed by the query server's admission control.
+
+    ``reason`` is ``overload`` (in-flight + queue bounds full),
+    ``deadline`` (the request's budget expired before dispatch), or
+    ``draining`` (graceful shutdown in progress).  The shed request was
+    never executed.
+    """
+    if not _enabled:
+        return
+    SHED_REQUESTS.labels(reason=reason).inc()
+
+
+def on_net_request(endpoint: str, status: int, seconds: float,
+                   slo_override_ms: float | None = None) -> None:
+    """Record one answered query-server request: counter + latency + SLO.
+
+    ``seconds`` is wall time from arrival to response, admission-queue
+    wait included — the latency the *client* observes.  Data-plane
+    endpoints are held to the process-wide latency objective (as
+    ``net_<endpoint>``); the control-plane ``server``/``stats`` reads
+    are exempt.
+    """
+    if not _enabled:
+        return
+    NET_REQUESTS.labels(endpoint=endpoint, status=str(status)).inc()
+    NET_REQUEST_SECONDS.labels(endpoint=endpoint).observe(seconds)
+    if slo_override_ms is not None:
+        objective = slo_override_ms
+    else:
+        objective = _slo_ms
+    if objective is not None and endpoint not in ("server", "stats"):
+        _check_slo(f"net_{endpoint}", seconds * 1e3, objective)
+
+
+def on_net_inflight(n: int) -> None:
+    """Track the query server's currently-executing request count."""
+    if not _enabled:
+        return
+    NET_INFLIGHT.set(n)

@@ -74,6 +74,7 @@ class TelemetryServer:
         self._events = events if events is not None else EVENTS
         self._databases: list = []
         self._pools: list = []
+        self._query_servers: list = []
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -86,6 +87,16 @@ class TelemetryServer:
     def watch_pool(self, pool) -> None:
         """Track a :class:`~repro.exec.ServingPool` for health state."""
         self._pools.append(pool)
+
+    def watch_query_server(self, query_server) -> None:
+        """Track a :class:`~repro.net.QueryServer` for health/load state.
+
+        ``/healthz`` reports the query server unhealthy once it starts
+        draining (load balancers should stop routing to it); ``/varz``
+        carries its live admission-control snapshot (in-flight, queued,
+        shed counts).
+        """
+        self._query_servers.append(query_server)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -191,6 +202,16 @@ class TelemetryServer:
                            else "serviceable"),
             })
             healthy &= not stuck
+        for i, qs in enumerate(self._query_servers):
+            draining = bool(qs.draining)
+            checks.append({
+                "check": f"query_server[{i}]",
+                "address": "%s:%d" % qs.address,
+                "ok": not draining,
+                "detail": ("draining for shutdown" if draining
+                           else "serviceable"),
+            })
+            healthy &= not draining
         return healthy, {
             "status": "ok" if healthy else "unhealthy",
             "checks": checks,
@@ -213,6 +234,10 @@ class TelemetryServer:
                 "quarantined": pool.quarantined_workers,
                 "degraded_queries": pool.degraded_queries,
             })
+        for i, qs in enumerate(self._query_servers):
+            entry = dict(qs.describe())
+            entry["handle"] = f"query_server[{i}]"
+            snapshots.append(entry)
         return {
             "metrics": self._registry.flatten(),
             "flight_recorder": self._recorder.summary(),

@@ -1,0 +1,433 @@
+"""repro.net under production stress: admission, deadlines, drain.
+
+The query server's contract is not just "answers match" (that is
+tests/test_query_surface.py) but *how it fails*: a request whose
+deadline already passed is shed with 504 before any index work runs, a
+burst beyond ``max_inflight + max_queue`` is shed with 429 and a
+``Retry-After`` hint, ``close()`` drains every admitted request to
+completion (zero dropped), and a client that hangs up mid-request never
+poisons the serving loop.  Shed decisions land in
+``repro_shed_requests_total`` and the telemetry server's ``/healthz``
+flips as soon as a watched query server starts draining.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.api import Database
+from repro.exceptions import (
+    DeadlineExceededError,
+    DimensionalityError,
+    NetError,
+    RemoteError,
+    ServerOverloadedError,
+)
+from repro.exec import ServingPool
+from repro.net import QueryServer, RemoteDatabase
+from repro.obs.hooks import NET_REQUESTS, SHED_REQUESTS
+from repro.obs.server import TelemetryServer
+from repro.workloads import uniform_dataset
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    data = uniform_dataset(200, 6, seed=31)
+    path = str(tmp_path_factory.mktemp("net") / "served.srtree")
+    with Database.create(path, kind="sr", dims=6, page_size=2048) as db:
+        db.insert_many(data)
+    db = Database.open(path)
+    yield SimpleNamespace(db=db, data=data, path=path)
+    db.close()
+
+
+class _Slow:
+    """Query handle that sleeps inside each query (admission probe).
+
+    Forwards everything else to the wrapped Database, so the server
+    sees an ordinary non-pooled handle; ``calls`` counts how often a
+    query actually dispatched.
+    """
+
+    def __init__(self, db, delay_s: float) -> None:
+        self._db = db
+        self._delay_s = delay_s
+        self.calls = 0
+
+    def _query(self, name, *args, **kwargs):
+        self.calls += 1
+        time.sleep(self._delay_s)
+        return getattr(self._db, name)(*args, **kwargs)
+
+    def knn(self, point, k=1, **kwargs):
+        return self._query("knn", point, k=k, **kwargs)
+
+    def knn_batch(self, points, k=1, **kwargs):
+        return self._query("knn_batch", points, k=k, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._db, name)
+
+
+def _addr(server: QueryServer) -> str:
+    return "%s:%d" % server.address
+
+
+def assert_neighbors_equal(got, want):
+    assert [n.value for n in got] == [n.value for n in want]
+    for g, w in zip(got, want):
+        assert g.distance == w.distance
+
+
+# ---------------------------------------------------------------------------
+# Deadline propagation
+# ---------------------------------------------------------------------------
+
+
+def test_expired_deadline_shed_before_dispatch(corpus):
+    source = _Slow(corpus.db, 0.0)
+    before = SHED_REQUESTS.labels(reason="deadline").value
+    with QueryServer(source) as server:
+        with RemoteDatabase.connect(_addr(server)) as rdb:
+            with pytest.raises(DeadlineExceededError):
+                rdb.knn(corpus.data[0], k=3, deadline_ms=0.0)
+        assert server.describe()["shed"]["deadline"] == 1
+    # The shed happened at admission: the index never saw the query.
+    assert source.calls == 0
+    assert SHED_REQUESTS.labels(reason="deadline").value == before + 1
+
+
+def test_deadline_budget_propagates_into_pool_timeout(corpus):
+    # A served pool gets the request's remaining budget as its per-call
+    # timeout=.  A worker slower than the budget degrades that shard to
+    # empty (the pool's documented timeout behavior) instead of holding
+    # the request open past its deadline.
+    with ServingPool(corpus.path, workers=1, backend="process",
+                     start_method="fork", _test_delay_s=0.5) as pool:
+        with QueryServer(pool) as server:
+            with RemoteDatabase.connect(_addr(server)) as rdb:
+                started = time.monotonic()
+                got = rdb.knn(corpus.data[0], k=3, deadline_ms=100.0)
+                elapsed = time.monotonic() - started
+            assert got == []
+            assert elapsed < 0.5  # did not wait out the worker's sleep
+
+
+def test_unparseable_deadline_header_is_a_400(corpus):
+    with QueryServer(corpus.db) as server:
+        conn = http.client.HTTPConnection(*server.address)
+        body = json.dumps({"point": corpus.data[0].tolist(), "k": 1})
+        conn.request("POST", "/v1/knn", body=body, headers={
+            "Content-Type": "application/json",
+            "X-Repro-Deadline-Ms": "soon",
+        })
+        response = conn.getresponse()
+        assert response.status == 400
+        assert b"X-Repro-Deadline-Ms" in response.read()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Admission control: shedding under a burst
+# ---------------------------------------------------------------------------
+
+
+def test_burst_beyond_capacity_sheds_with_429(corpus):
+    source = _Slow(corpus.db, 0.4)
+    before = SHED_REQUESTS.labels(reason="overload").value
+    with QueryServer(source, max_inflight=1, max_queue=0) as server:
+        address = _addr(server)
+        barrier = threading.Barrier(4)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def one_client() -> None:
+            with RemoteDatabase.connect(address) as rdb:
+                barrier.wait()
+                try:
+                    got = rdb.knn(corpus.data[0], k=2)
+                    assert [n.value for n in got]
+                    outcome = "ok"
+                except ServerOverloadedError as exc:
+                    assert exc.retry_after == 1.0
+                    outcome = "shed"
+            with lock:
+                outcomes.append(outcome)
+
+        # Burst at 4x max_inflight.
+        threads = [threading.Thread(target=one_client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert outcomes.count("ok") >= 1
+        assert outcomes.count("shed") >= 1
+        assert len(outcomes) == 4
+        shed = outcomes.count("shed")
+        assert server.describe()["shed"]["overload"] == shed
+    assert SHED_REQUESTS.labels(reason="overload").value == before + shed
+
+
+def test_queued_request_runs_when_a_slot_frees(corpus):
+    # One in flight, one queued: with a queue slot and patience, the
+    # second request is admitted when the first finishes — not shed.
+    source = _Slow(corpus.db, 0.3)
+    with QueryServer(source, max_inflight=1, max_queue=1,
+                     queue_timeout_s=5.0) as server:
+        address = _addr(server)
+        want = corpus.db.knn(corpus.data[0], k=2)
+        results: list = []
+
+        def one_client() -> None:
+            with RemoteDatabase.connect(address) as rdb:
+                results.append(rdb.knn(corpus.data[0], k=2))
+
+        threads = [threading.Thread(target=one_client) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(results) == 2
+        for got in results:
+            assert_neighbors_equal(got, want)
+        assert server.describe()["shed"]["overload"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+# ---------------------------------------------------------------------------
+
+
+def test_drain_finishes_inflight_queries(corpus):
+    source = _Slow(corpus.db, 0.5)
+    server = QueryServer(source)
+    address = _addr(server)
+    want = corpus.db.knn_batch(corpus.data[:4], k=3)
+    rdb = RemoteDatabase.connect(address)
+    result: dict = {}
+
+    def work() -> None:
+        result["got"] = rdb.knn_batch(corpus.data[:4], k=3)
+
+    thread = threading.Thread(target=work)
+    thread.start()
+    time.sleep(0.15)  # the batch is now inside the 0.5 s query
+    server.close()  # drain must wait it out, not cut it off
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+    # Zero dropped: the in-flight batch completed with full results.
+    assert len(result["got"]) == 4
+    for got, expect in zip(result["got"], want):
+        assert_neighbors_equal(got, expect)
+    rdb.close()
+
+    # The listener is gone: fresh connections are refused outright.
+    with pytest.raises(NetError):
+        RemoteDatabase.connect(address)
+
+
+def test_draining_server_sheds_with_503(corpus):
+    before = SHED_REQUESTS.labels(reason="draining").value
+    with QueryServer(corpus.db) as server:
+        with RemoteDatabase.connect(_addr(server)) as rdb:
+            # Flip the admission gate without unbinding the listener —
+            # exactly the window close() opens before the accept loop
+            # stops.
+            server._admission.start_drain()
+            with pytest.raises(ServerOverloadedError):
+                rdb.knn(corpus.data[0], k=1)
+            # Control-plane reads stay available while draining.
+            assert rdb.server_info()["draining"] is True
+        assert server.describe()["shed"]["draining"] == 1
+    assert SHED_REQUESTS.labels(reason="draining").value == before + 1
+
+
+# ---------------------------------------------------------------------------
+# Client misbehavior
+# ---------------------------------------------------------------------------
+
+
+def test_client_disconnect_does_not_poison_the_server(corpus):
+    source = _Slow(corpus.db, 0.3)
+    with QueryServer(source) as server:
+        sock = socket.create_connection(server.address)
+        body = json.dumps({"point": corpus.data[0].tolist(),
+                           "k": 2}).encode("utf-8")
+        sock.sendall(b"POST /v1/knn HTTP/1.1\r\n"
+                     b"Host: test\r\n"
+                     b"Content-Type: application/json\r\n"
+                     b"Content-Length: " + str(len(body)).encode() +
+                     b"\r\n\r\n" + body)
+        sock.close()  # hang up while the query is still running
+        time.sleep(0.5)
+
+        # The serving loop is healthy: a well-behaved client gets the
+        # right answer immediately afterwards.
+        with RemoteDatabase.connect(_addr(server)) as rdb:
+            want = corpus.db.knn(corpus.data[0], k=2)
+            assert_neighbors_equal(rdb.knn(corpus.data[0], k=2), want)
+
+
+def test_malformed_requests_are_client_errors(corpus):
+    with QueryServer(corpus.db) as server:
+        conn = http.client.HTTPConnection(*server.address)
+
+        def post(path, doc):
+            conn.request("POST", path, body=json.dumps(doc),
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+
+        # Unknown endpoint namespace -> 404.
+        status, doc = post("/v1/teleport", {})
+        assert status == 404
+
+        # Unknown body field -> 400 naming the offender.
+        status, doc = post("/v1/knn", {"point": corpus.data[0].tolist(),
+                                       "bogus": 1})
+        assert status == 400
+        assert "bogus" in doc["error"]
+
+        # Missing required field -> 400.
+        status, doc = post("/v1/range", {"radius": 0.5})
+        assert status == 400
+        assert "point" in doc["error"]
+
+        # Non-JSON body on a JSON endpoint -> 400, not a crashed thread.
+        conn.request("POST", "/v1/knn", body=b"\x00\xff not json",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 400
+        response.read()
+        conn.close()
+
+    # Library exceptions re-raise client-side as the same class.
+    with QueryServer(corpus.db) as server:
+        with RemoteDatabase.connect(_addr(server)) as rdb:
+            with pytest.raises(DimensionalityError):
+                rdb.knn(np.zeros(3), k=1)
+            with pytest.raises(TypeError, match="kk"):
+                rdb.knn(corpus.data[0], kk=3)
+
+
+# ---------------------------------------------------------------------------
+# Authentication
+# ---------------------------------------------------------------------------
+
+
+def test_mutations_disabled_without_a_token(corpus):
+    with QueryServer(corpus.db) as server:  # no auth_token
+        with RemoteDatabase.connect(_addr(server)) as rdb:
+            assert rdb.server_info()["mutations"] is False
+            with pytest.raises(RemoteError, match="403"):
+                rdb.insert(np.full(6, 0.5))
+
+
+def test_token_gates_mutations_not_reads(tmp_path):
+    path = str(tmp_path / "mut.srtree")
+    with Database.create(path, kind="sr", dims=4) as db:
+        db.insert_many(np.random.default_rng(7).random((16, 4)))
+    with Database.open(path) as db:
+        with QueryServer(db, auth_token="s3cret") as server:
+            address = _addr(server)
+            # Wrong token -> 401; the index is untouched.
+            with RemoteDatabase.connect(address, token="wrong") as rdb:
+                with pytest.raises(RemoteError, match="401"):
+                    rdb.insert(np.full(4, 0.5))
+                assert rdb.size == 16
+
+            # No token at all: reads work, writes 401.
+            with RemoteDatabase.connect(address) as rdb:
+                assert len(rdb.knn(np.full(4, 0.5), k=3)) == 3
+                with pytest.raises(RemoteError, match="401"):
+                    rdb.delete(np.full(4, 0.5))
+
+            # The right token mutates; size tracks live.
+            with RemoteDatabase.connect(address, token="s3cret") as rdb:
+                assert rdb.insert(np.full(4, 0.25), value="probe") == 17
+                assert rdb.lookup(np.full(4, 0.25)) == ["probe"]
+                batch = np.random.default_rng(8).random((5, 4))
+                assert rdb.insert_many(batch) == 22
+                assert rdb.delete(np.full(4, 0.25), value="probe") == 21
+
+
+# ---------------------------------------------------------------------------
+# Transport details: codecs, keep-alive, metrics, telemetry
+# ---------------------------------------------------------------------------
+
+
+def test_binary_and_json_codecs_agree(corpus):
+    queries = corpus.data[:6]
+    want = corpus.db.knn_batch(queries, k=3)
+    with QueryServer(corpus.db) as server:
+        address = _addr(server)
+        with RemoteDatabase.connect(address, binary=True) as bin_rdb:
+            with RemoteDatabase.connect(address, binary=False) as json_rdb:
+                got_bin = bin_rdb.knn_batch(queries, k=3)
+                got_json = json_rdb.knn_batch(queries, k=3)
+    for got in (got_bin, got_json):
+        assert len(got) == len(want)
+        for g_list, w_list in zip(got, want):
+            assert_neighbors_equal(g_list, w_list)
+            for g, w in zip(g_list, w_list):
+                assert np.array_equal(g.point, w.point)
+
+
+def test_keep_alive_reuses_one_connection(corpus):
+    with QueryServer(corpus.db) as server:
+        with RemoteDatabase.connect(_addr(server)) as rdb:
+            rdb.knn(corpus.data[0], k=1)
+            conn = rdb._conn
+            assert conn is not None
+            for i in range(5):
+                rdb.knn(corpus.data[i], k=1)
+            # Same HTTP/1.1 connection served all six queries.
+            assert rdb._conn is conn
+        assert server.describe()["served"] >= 7  # descriptor + 6 queries
+
+
+def test_request_metrics_and_telemetry_surface(corpus):
+    before = NET_REQUESTS.labels(endpoint="knn", status="200").value
+    server = QueryServer(corpus.db)
+    telemetry = TelemetryServer()
+    telemetry.watch_query_server(server)
+    try:
+        healthy, doc = telemetry.health()
+        assert healthy
+        assert doc["checks"][0]["check"] == "query_server[0]"
+
+        with RemoteDatabase.connect(_addr(server)) as rdb:
+            rdb.knn(corpus.data[0], k=2)
+        assert NET_REQUESTS.labels(endpoint="knn",
+                                   status="200").value == before + 1
+
+        snapshot = [entry for entry in telemetry.varz()["snapshots"]
+                    if entry["handle"] == "query_server[0]"]
+        assert snapshot and snapshot[0]["served"] >= 1
+        assert snapshot[0]["draining"] is False
+    finally:
+        server.close()
+
+    # A draining/closed query server flips /healthz to unhealthy, so
+    # load balancers stop routing to it.
+    healthy, doc = telemetry.health()
+    assert not healthy
+    assert doc["checks"][0]["detail"] == "draining for shutdown"
+
+
+def test_stats_and_explain_over_the_wire(corpus):
+    with QueryServer(corpus.db) as server:
+        with RemoteDatabase.connect(_addr(server)) as rdb:
+            stats = rdb.stats()
+            assert stats["kind"] == "srtree"
+            text = rdb.explain(corpus.data[0], k=3)
+            assert "knn" in text.lower() or "k-nn" in text.lower()

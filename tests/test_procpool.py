@@ -17,6 +17,7 @@ from __future__ import annotations
 import os
 import signal
 import threading
+import warnings
 
 import numpy as np
 import pytest
@@ -91,7 +92,7 @@ def test_process_pool_matches_single_query_search(saved_indexes, name):
         want_knn = [db.knn(q, k=k) for q in queries]
         want_range = [db.range(q, radius) for q in queries]
 
-    with ProcessServingPool(path, workers=2) as pool:
+    with ServingPool(path, workers=2, backend="process") as pool:
         assert pool.dims == data.shape[1]
         got_knn, complete = pool.knn(queries, k=k, with_flags=True)
         assert complete == [True] * len(queries)
@@ -108,7 +109,7 @@ def test_process_pool_matches_single_query_search(saved_indexes, name):
 
 def test_with_times_reports_worker_block_latencies(uniform_index):
     queries = np.random.default_rng(9).random((8, 8))
-    with ProcessServingPool(uniform_index, workers=2) as pool:
+    with ServingPool(uniform_index, workers=2, backend="process") as pool:
         results, times = pool.knn(queries, k=3, with_times=True)
         assert len(results) == 8
         assert times and all(ms >= 0 and count > 0 for ms, count in times)
@@ -124,8 +125,8 @@ def test_sigkilled_worker_degrades_with_worker_died_and_respawns(
         uniform_index):
     queries = np.random.default_rng(11).random((12, 8))
     before = DEGRADED_QUERIES.labels(reason="worker_died").value
-    with ProcessServingPool(uniform_index, workers=2,
-                            _test_delay_s=0.6) as pool:
+    with ServingPool(uniform_index, workers=2, backend="process",
+                     _test_delay_s=0.6) as pool:
         victim = pool._pids[0]
         survivor = pool._pids[1]
         # Kill worker 0 while it is inside the call (each worker sleeps
@@ -161,8 +162,8 @@ def test_sigkilled_worker_degrades_with_worker_died_and_respawns(
 
 def test_timed_out_worker_is_respawned_not_quarantined(uniform_index):
     queries = np.random.default_rng(12).random((4, 8))
-    with ProcessServingPool(uniform_index, workers=1, timeout=0.25,
-                            _test_delay_s=30.0) as pool:
+    with ServingPool(uniform_index, workers=1, timeout=0.25,
+                     backend="process", _test_delay_s=30.0) as pool:
         results, complete = pool.knn(queries, k=2, with_flags=True)
         assert complete == [False] * 4
         assert results == [[], [], [], []]
@@ -175,8 +176,8 @@ def test_dead_worker_detected_even_without_timeout(uniform_index):
     # No timeout configured: the only wake-up is the pipe EOF the dying
     # process leaves behind.  The call must still return promptly.
     queries = np.random.default_rng(13).random((4, 8))
-    with ProcessServingPool(uniform_index, workers=1,
-                            _test_delay_s=0.6) as pool:
+    with ServingPool(uniform_index, workers=1, backend="process",
+                     _test_delay_s=0.6) as pool:
         threading.Timer(0.15, os.kill,
                         args=(pool._pids[0], signal.SIGKILL)).start()
         results, complete = pool.knn(queries, k=2, with_flags=True)
@@ -194,7 +195,7 @@ def test_worker_telemetry_merges_into_parent(uniform_index):
     batch = QUERIES.labels(index_kind="srtree", op="batch_knn")
     queries_before = batch.value
     flight_before = FLIGHT.recorded
-    with ProcessServingPool(uniform_index, workers=2) as pool:
+    with ServingPool(uniform_index, workers=2, backend="process") as pool:
         pool.knn(queries, k=4)
 
         # The workers executed batch_knn in their own interpreters, yet
@@ -223,7 +224,7 @@ def test_worker_telemetry_merges_into_parent(uniform_index):
 
 def test_stats_stay_cumulative_across_respawn(uniform_index):
     queries = np.random.default_rng(15).random((6, 8))
-    with ProcessServingPool(uniform_index, workers=1) as pool:
+    with ServingPool(uniform_index, workers=1, backend="process") as pool:
         pool.knn(queries, k=3)
         reads_before = pool.stats().page_reads
         assert reads_before > 0
@@ -237,7 +238,7 @@ def test_stats_stay_cumulative_across_respawn(uniform_index):
 
 def test_drop_caches_resets_worker_buffers(uniform_index):
     queries = np.random.default_rng(16).random((6, 8))
-    with ProcessServingPool(uniform_index, workers=1) as pool:
+    with ServingPool(uniform_index, workers=1, backend="process") as pool:
         pool.knn(queries, k=3)
         misses_before = pool.stats().buffer_misses
         pool.drop_caches()
@@ -282,20 +283,33 @@ def test_live_database_rejected_by_process_backend(uniform_index):
 
 def test_missing_file_and_bad_parameters_rejected(tmp_path):
     with pytest.raises(FileNotFoundError):
-        ProcessServingPool(str(tmp_path / "nope.srtree"), workers=1)
+        ServingPool(str(tmp_path / "nope.srtree"), workers=1,
+                    backend="process")
     path = str(tmp_path / "x.srtree")
     with Database.create(path, kind="sr", dims=4) as db:
         db.insert_many(np.random.default_rng(0).random((8, 4)))
     with pytest.raises(ValueError):
-        ProcessServingPool(path, workers=0)
+        ServingPool(path, workers=0, backend="process")
     with pytest.raises(ValueError):
-        ProcessServingPool(path, timeout=0.0)
+        ServingPool(path, timeout=0.0, backend="process")
     with pytest.raises(ValueError):
-        ProcessServingPool(path, read_retries=-1)
+        ServingPool(path, read_retries=-1, backend="process")
+
+
+def test_direct_construction_is_deprecated(uniform_index):
+    # ServingPool(source, backend="process") is the one sanctioned
+    # entry point; the class constructor still works (same pool) but
+    # warns, and tools/lint.py flags it inside src/repro.
+    with pytest.warns(DeprecationWarning, match="backend='process'"):
+        pool = ProcessServingPool(uniform_index, workers=1)
+    pool.close()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        ServingPool(uniform_index, workers=1, backend="process").close()
 
 
 def test_closed_pool_refuses_queries(uniform_index):
-    pool = ProcessServingPool(uniform_index, workers=1)
+    pool = ServingPool(uniform_index, workers=1, backend="process")
     pool.close()
     with pytest.raises(RuntimeError, match="closed"):
         pool.knn(np.zeros((1, 8)), k=1)
@@ -304,7 +318,7 @@ def test_closed_pool_refuses_queries(uniform_index):
 
 
 def test_empty_query_block_is_trivially_complete(uniform_index):
-    with ProcessServingPool(uniform_index, workers=1) as pool:
+    with ServingPool(uniform_index, workers=1, backend="process") as pool:
         results, complete = pool.knn(np.empty((0, 8)), k=3,
                                      with_flags=True)
         assert results == []

@@ -1,0 +1,184 @@
+"""QuerySurface conformance: five handle kinds, one read contract.
+
+``repro.api.QuerySurface`` is the formal protocol every query handle
+implements — :class:`~repro.api.Database`, :class:`~repro.api.Snapshot`,
+:class:`~repro.exec.ServingPool` (thread and process backends), and
+:class:`~repro.net.RemoteDatabase` over a live
+:class:`~repro.net.QueryServer`.  This suite runs the *same* assertions
+against every handle on the paper's three workload families: identical
+values, bit-equal distances, bit-equal points versus the single-process
+``Database`` reference.  A handle that reorders, rounds, or drops a
+neighbor fails here before it can fail a benchmark.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.api import Database, QuerySurface
+from repro.exec import ServingPool
+from repro.net import QueryServer, RemoteDatabase
+from repro.workloads import cluster_dataset, histogram_dataset, uniform_dataset
+
+WORKLOADS = {
+    "uniform": lambda: uniform_dataset(150, 6, seed=21),
+    "clusters": lambda: cluster_dataset(6, 25, 6, seed=22),
+    "histograms": lambda: histogram_dataset(120, bins=8, seed=23),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def corpus(request, tmp_path_factory):
+    """One saved SR-tree database per paper workload family."""
+    name = request.param
+    data = WORKLOADS[name]()
+    path = str(tmp_path_factory.mktemp("surface") / f"{name}.srtree")
+    with Database.create(path, kind="sr", dims=data.shape[1],
+                         page_size=2048) as db:
+        db.insert_many(data)
+    db = Database.open(path)
+    rng = np.random.default_rng(sum(map(ord, name)))
+    picks = rng.choice(data.shape[0], size=8, replace=False)
+    queries = np.vstack([
+        data[picks[:4]],
+        (data[picks[4:]] + data[picks[:4]]) / 2.0,
+    ])
+    yield SimpleNamespace(name=name, data=data, path=path, db=db,
+                          queries=queries)
+    db.close()
+
+
+@contextmanager
+def _database(c):
+    yield c.db
+
+
+@contextmanager
+def _snapshot(c):
+    with c.db.snapshot() as snap:
+        yield snap
+
+
+@contextmanager
+def _pool_thread(c):
+    with ServingPool(c.db, workers=2) as pool:
+        yield pool
+
+
+@contextmanager
+def _pool_process(c):
+    # fork keeps startup cheap; correctness is start-method independent
+    # and spawn is exercised by tests/test_procpool.py.
+    with ServingPool(c.path, workers=2, backend="process",
+                     start_method="fork") as pool:
+        yield pool
+
+
+@contextmanager
+def _remote(c):
+    with QueryServer(c.db) as server:
+        with RemoteDatabase.connect("%s:%d" % server.address) as rdb:
+            yield rdb
+
+
+HANDLES = {
+    "database": _database,
+    "snapshot": _snapshot,
+    "pool_thread": _pool_thread,
+    "pool_process": _pool_process,
+    "remote": _remote,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(HANDLES))
+def handle(request, corpus):
+    with HANDLES[request.param](corpus) as h:
+        yield h
+
+
+def assert_neighbors_equal(got, want):
+    assert [n.value for n in got] == [n.value for n in want]
+    for g, w in zip(got, want):
+        assert g.distance == w.distance
+        assert np.array_equal(np.asarray(g.point), np.asarray(w.point))
+
+
+# ---------------------------------------------------------------------------
+# Structural conformance
+# ---------------------------------------------------------------------------
+
+
+def test_handle_satisfies_query_surface(handle):
+    assert isinstance(handle, QuerySurface)
+
+
+def test_identity_properties_match_database(corpus, handle):
+    assert handle.kind == corpus.db.kind == "srtree"
+    assert handle.dims == corpus.data.shape[1]
+    assert handle.size == corpus.data.shape[0]
+    assert handle.closed is False
+
+
+def test_stats_is_live(handle):
+    stats = handle.stats()
+    assert stats is not None
+
+
+# ---------------------------------------------------------------------------
+# Result equivalence: every read op, bit-equal to the Database reference
+# ---------------------------------------------------------------------------
+
+
+def test_knn_matches_reference(corpus, handle):
+    for q in corpus.queries:
+        want = corpus.db.knn(q, k=5)
+        got = handle.knn(q, k=5)
+        assert_neighbors_equal(got, want)
+
+
+def test_knn_batch_matches_reference(corpus, handle):
+    want = corpus.db.knn_batch(corpus.queries, k=4)
+    got = handle.knn_batch(corpus.queries, k=4)
+    assert len(got) == len(want)
+    for g_list, w_list in zip(got, want):
+        assert_neighbors_equal(g_list, w_list)
+
+
+def test_range_matches_reference(corpus, handle):
+    for q in corpus.queries[:4]:
+        want = corpus.db.range(q, 0.35)
+        got = handle.range(q, 0.35)
+        assert_neighbors_equal(got, want)
+
+
+def test_window_matches_reference(corpus, handle):
+    q = corpus.queries[0]
+    low, high = q - 0.25, q + 0.25
+    want = corpus.db.window(low, high)
+    got = handle.window(low, high)
+    assert sorted(n.value for n in got) == sorted(n.value for n in want)
+
+
+def test_lookup_matches_reference(corpus, handle):
+    probe = corpus.data[7]
+    want = corpus.db.lookup(probe)
+    assert want  # the probe is a stored point; lookup must find it
+    assert sorted(handle.lookup(probe)) == sorted(want)
+    miss = np.full(corpus.data.shape[1], -123.0)
+    assert handle.lookup(miss) == []
+
+
+def test_unknown_kwargs_rejected_everywhere(corpus, handle):
+    # Satellite 3: kwargs forwarding is gone — every handle rejects a
+    # typo'd keyword with a did-you-mean hint instead of silently
+    # ignoring it (or crashing deep inside the index).
+    try:
+        handle.knn(corpus.queries[0], kk=3)
+    except TypeError as exc:
+        assert "kk" in str(exc)
+    else:  # pragma: no cover - conformance failure
+        pytest.fail("unknown kwarg 'kk' was silently accepted")
