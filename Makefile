@@ -1,6 +1,6 @@
 # Convenience targets for development and reproduction runs.
 
-.PHONY: install lint test test-crash test-concurrency test-mp test-net bench bench-check examples all
+.PHONY: install lint test test-crash test-concurrency test-mp test-net test-batching bench bench-check examples all
 
 # Byte-compile everything and run the dependency-free pyflakes-level
 # checker (tools/lint.py upgrades itself to real pyflakes when
@@ -49,6 +49,14 @@ test-mp:
 test-net:
 	timeout -k 10 600 env PYTHONFAULTHANDLER=1 PYTHONPATH=src \
 	    python -m pytest tests/test_query_surface.py tests/test_net.py -q
+
+# Dynamic micro-batching: the coalescing scheduler's flush triggers
+# (full/timer/deadline/drain), bit-equality of coalesced vs serial
+# dispatch on the three paper workloads, deadline sheds that leave
+# batchmates unharmed, and the client connection pool's concurrency.
+test-batching:
+	timeout -k 10 600 env PYTHONFAULTHANDLER=1 PYTHONPATH=src \
+	    python -m pytest tests/test_batching.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

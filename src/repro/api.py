@@ -48,6 +48,8 @@ import difflib
 import os
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 from .indexes.base import Neighbor, SpatialIndex
 from .indexes.factory import (
     _open_index,
@@ -131,6 +133,14 @@ class QuerySurface(Protocol):
 
     def range(self, point, radius: float) -> list[Neighbor]:
         """All stored points within ``radius`` of ``point``."""
+        ...
+
+    def range_batch(self, points, radius) -> list[list[Neighbor]]:
+        """The range query of each query point, batched.
+
+        ``radius`` is a scalar shared by every query or a ``(Q,)``
+        array-like with one radius per query.
+        """
         ...
 
     def window(self, low, high) -> list[Neighbor]:
@@ -406,9 +416,16 @@ class Database:
         """
         self._index.insert(point, value)
 
-    def insert_many(self, points, values=None) -> None:
-        """Insert many points (payloads default to row indices)."""
+    def insert_many(self, points, values=None) -> int:
+        """Insert many points (payloads default to row indices).
+
+        Returns the number of points inserted — the same contract as
+        :meth:`repro.net.RemoteDatabase.insert_many`, pinned by the
+        QuerySurface conformance suite.
+        """
+        points = np.ascontiguousarray(points, dtype=np.float64)
         self._index.load(points, values)
+        return int(points.shape[0])
 
     def delete(self, point, value: object = ...) -> None:
         """Remove one stored copy of ``point`` (families that support it)."""
@@ -428,17 +445,29 @@ class Database:
         validate_query_kwargs("knn", kwargs)
         return self._index.nearest(point, k=k, **kwargs)
 
-    def knn_batch(self, points, k: int = 1) -> list[list[Neighbor]]:
+    def knn_batch(self, points, k=1) -> list[list[Neighbor]]:
         """The ``k`` nearest neighbors of each query point, batched.
 
         Same :class:`~repro.indexes.base.Neighbor` results as
-        :meth:`knn`, amortized over the whole query block.
+        :meth:`knn`, amortized over the whole query block.  ``k`` is
+        one int shared by every query or a ``(Q,)`` array with one
+        value per query (how the network coalescer shares a traversal
+        across mixed-``k`` requests).
         """
         return self._index.nearest_batch(points, k=k)
 
     def range(self, point, radius: float) -> list[Neighbor]:
         """All stored points within ``radius`` of ``point``, closest first."""
         return self._index.within(point, radius)
+
+    def range_batch(self, points, radius) -> list[list[Neighbor]]:
+        """The range query of each query point, batched.
+
+        ``radius`` is a scalar shared by every query or a ``(Q,)``
+        array with one radius per query; results match :meth:`range`
+        exactly.
+        """
+        return self._index.within_batch(points, radius)
 
     def window(self, low, high) -> list[Neighbor]:
         """All stored points inside the axis-aligned box ``[low, high]``."""
@@ -614,13 +643,18 @@ class Snapshot:
         validate_query_kwargs("knn", kwargs)
         return self._view.nearest(point, k=k, **kwargs)
 
-    def knn_batch(self, points, k: int = 1) -> list[list[Neighbor]]:
-        """Batched k-NN over the pinned state."""
+    def knn_batch(self, points, k=1) -> list[list[Neighbor]]:
+        """Batched k-NN over the pinned state (``k`` scalar or per-query)."""
         return self._view.nearest_batch(points, k=k)
 
     def range(self, point, radius: float) -> list[Neighbor]:
         """All pinned points within ``radius`` of ``point``."""
         return self._view.within(point, radius)
+
+    def range_batch(self, points, radius) -> list[list[Neighbor]]:
+        """Batched range query over the pinned state (scalar or
+        per-query ``radius``)."""
+        return self._view.within_batch(points, radius)
 
     def window(self, low, high) -> list[Neighbor]:
         """All pinned points inside the box ``[low, high]``."""

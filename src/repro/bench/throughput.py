@@ -17,7 +17,15 @@ execution modes of :mod:`repro.exec`:
   a **live** database while a background writer commits inserts through
   the WAL at ``--writer-qps`` (runs against a scratch copy of the index,
   so the saved file is untouched).  This measures what snapshot
-  isolation costs under write pressure rather than on a frozen file.
+  isolation costs under write pressure rather than on a frozen file;
+* ``remote`` / ``remote_coalesced`` — a full network round trip:
+  an in-process :class:`repro.net.QueryServer` serves the index over
+  HTTP while ``--clients`` threads issue single-point ``/v1/knn``
+  requests as fast as they can.  ``remote`` dispatches every request
+  individually (the serial baseline); ``remote_coalesced`` enables the
+  server's dynamic micro-batching (``batch_delay_ms`` > 0), which
+  coalesces the concurrent requests into shared batched traversals —
+  same wire format, same per-request results, one traversal.
 
 Every mode starts **cold** (fresh index handle, empty caches) and runs
 the same query set against the same page file, so the qps ratios
@@ -51,7 +59,11 @@ import numpy as np
 
 __all__ = ["ThroughputResult", "run_throughput", "sample_queries", "write_json"]
 
-_MODES = ("single", "batched", "parallel", "mixed")
+_MODES = ("single", "batched", "parallel", "mixed", "remote",
+          "remote_coalesced")
+#: Modes measured when the caller does not ask for a specific set; the
+#: remote modes bind a listening socket, so they are opt-in.
+_DEFAULT_MODES = ("single", "batched", "parallel", "mixed")
 
 #: Default background write rate for the ``mixed`` mode (commits/sec).
 DEFAULT_WRITER_QPS = 50.0
@@ -283,25 +295,92 @@ def _run_mixed(path, queries, k, block_size, workers, buffer_capacity,
         return res
 
 
+def _run_remote(path, queries, k, *, clients, coalesce, batch_delay_ms,
+                max_batch, buffer_capacity):
+    """Serve the index over HTTP and hammer it with client threads.
+
+    Every client thread owns one keep-alive connection from a shared
+    :class:`~repro.net.RemoteDatabase` pool and issues single-point
+    ``/v1/knn`` requests, pulling query indices from a shared cursor —
+    the load profile dynamic batching is built for.  With ``coalesce``
+    the server coalesces those concurrent requests into shared batched
+    traversals; without it, each request dispatches individually (the
+    serial remote baseline).
+    """
+    import threading
+
+    from ..api import Database
+    from ..net import QueryServer, RemoteDatabase
+
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    mode = "remote_coalesced" if coalesce else "remote"
+    samples = [0.0] * len(queries)
+    cursor = [0]
+    cursor_lock = threading.Lock()
+    with Database.open(path, buffer_pages=buffer_capacity) as db:
+        db.index.store.drop_cache()
+        before = db.index.stats.snapshot()
+        server = QueryServer(
+            db, host="127.0.0.1", port=0,
+            max_inflight=clients, max_queue=2 * clients,
+            batch_delay_ms=batch_delay_ms if coalesce else 0.0,
+            max_batch=max_batch)
+        try:
+            host, port = server.address
+            with RemoteDatabase.connect(f"{host}:{port}",
+                                        pool_size=clients) as rdb:
+                def client_loop():
+                    while True:
+                        with cursor_lock:
+                            i = cursor[0]
+                            if i >= len(queries):
+                                return
+                            cursor[0] += 1
+                        q0 = time.perf_counter()
+                        rdb.knn(queries[i], k=k)
+                        samples[i] = (time.perf_counter() - q0) * 1e3
+
+                threads = [threading.Thread(target=client_loop,
+                                            name=f"repro-bench-client-{i}")
+                           for i in range(clients)]
+                t0 = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = time.perf_counter() - t0
+        finally:
+            server.close()
+        delta = db.index.stats.since(before)
+    res = _result(mode, len(queries), k, wall, samples, delta,
+                  workers=clients)
+    res.backend = "remote"
+    return res
+
+
 def run_throughput(
     path,
     queries: np.ndarray,
     k: int = 21,
     *,
-    modes=_MODES,
+    modes=_DEFAULT_MODES,
     block_size: int = 64,
     workers: int = 4,
     buffer_capacity: int | None = None,
     page_cache_capacity: int = 0,
     writer_qps: float = DEFAULT_WRITER_QPS,
     backend: str = "process",
+    clients: int = 8,
+    remote_batch_delay_ms: float = 1.0,
     dataset_info: dict | None = None,
 ) -> dict:
     """Measure every requested mode over the saved index at ``path``.
 
     ``writer_qps`` only affects the ``mixed`` mode (background commit
     rate); ``backend`` only the ``parallel`` mode (``mixed`` serves a
-    live database and is always thread-backed).  Returns the
+    live database and is always thread-backed); ``clients`` and
+    ``remote_batch_delay_ms`` only the remote modes.  Returns the
     ``BENCH_throughput.json`` document as a dict.
     """
     if backend not in ("thread", "process"):
@@ -324,6 +403,13 @@ def run_throughput(
         elif mode == "mixed":
             results[mode] = _run_mixed(path, queries, k, block_size,
                                        workers, buffer_capacity, writer_qps)
+        elif mode in ("remote", "remote_coalesced"):
+            results[mode] = _run_remote(
+                path, queries, k, clients=clients,
+                coalesce=(mode == "remote_coalesced"),
+                batch_delay_ms=remote_batch_delay_ms,
+                max_batch=max(2, clients),
+                buffer_capacity=buffer_capacity)
         else:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
     single = results.get("single")

@@ -169,8 +169,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="number of k-NN queries (default 500)")
     bench.add_argument("-k", type=int, default=21)
     bench.add_argument("--modes", default="single,batched,parallel",
-                       help="comma-separated subset of "
-                            "single,batched,parallel,mixed")
+                       help="comma-separated subset of single,batched,"
+                            "parallel,mixed,remote,remote_coalesced")
     bench.add_argument("--block-size", type=int, default=64,
                        help="queries per traversal block (batched/parallel)")
     bench.add_argument("--workers", type=int, default=4,
@@ -191,6 +191,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "inserts/sec through the WAL against a scratch "
                             "copy of the index (implies adding 'mixed' to "
                             "--modes)")
+    bench.add_argument("--clients", type=int, default=8,
+                       help="concurrent client threads for the remote "
+                            "modes (default 8)")
+    bench.add_argument("--remote-batch-delay-ms", type=float, default=1.0,
+                       metavar="MS",
+                       help="coalescing window for the remote_coalesced "
+                            "mode (default 1.0)")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--out", default="BENCH_throughput.json",
                        help="output JSON path (default BENCH_throughput.json)")
@@ -258,6 +265,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="admission control: queued requests beyond "
                               "the in-flight bound; overflow sheds with "
                               "429 (default 16)")
+    serve_q.add_argument("--batch-delay-ms", type=float, default=0.0,
+                         metavar="MS",
+                         help="coalesce concurrent knn/range requests "
+                              "into batched traversals, waiting up to "
+                              "this long for company (default 0 = off; "
+                              "see docs/SERVING.md 'Dynamic batching')")
+    serve_q.add_argument("--max-batch", type=int, default=32,
+                         help="flush a coalesced batch at this many "
+                              "requests (default 32; needs "
+                              "--batch-delay-ms > 0)")
     serve_q.add_argument("--token", default=None,
                          help="shared secret enabling mutation endpoints "
                               "(omit to serve read-only)")
@@ -498,6 +515,8 @@ def _cmd_serve(args) -> int:
             max_inflight=args.max_inflight,
             max_queue=args.max_queue,
             auth_token=args.token,
+            batch_delay_ms=args.batch_delay_ms,
+            max_batch=args.max_batch,
         )
         try:
             if args.telemetry_port is not None:
@@ -511,6 +530,9 @@ def _cmd_serve(args) -> int:
                     telemetry.watch_pool(source)
             host, port = server.address
             mutations = "enabled" if args.token else "disabled"
+            if args.batch_delay_ms > 0:
+                mode += (f", batching {args.batch_delay_ms:g} ms "
+                         f"x{args.max_batch}")
             print(f"serving {args.index} at http://{host}:{port}/v1 "
                   f"({mode}, mutations {mutations})")
             if telemetry is not None:
@@ -687,14 +709,16 @@ def _cmd_bench_throughput(args) -> int:
         writer_qps=(DEFAULT_WRITER_QPS if args.writer_qps is None
                     else args.writer_qps),
         backend=args.backend,
+        clients=args.clients,
+        remote_batch_delay_ms=args.remote_batch_delay_ms,
         dataset_info=info,
     )
     write_json(doc, args.out)
     for mode, res in doc["modes"].items():
-        line = (f"{mode:>9}: {res['qps']:10.1f} qps  "
+        line = (f"{mode:>16}: {res['qps']:10.1f} qps  "
                 f"p50 {res['p50_ms']:.3f} ms  p95 {res['p95_ms']:.3f} ms  "
                 f"{res['page_reads_per_query']:.1f} pages/query")
-        if mode in ("parallel", "mixed"):
+        if mode in ("parallel", "mixed") or mode.startswith("remote"):
             line += f"  [{res['backend']}]"
         if mode == "mixed":
             line += f"  ({res['writer_commits']} writer commits)"

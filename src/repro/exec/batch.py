@@ -31,6 +31,13 @@ Blocks default to :data:`DEFAULT_BLOCK_SIZE` queries to keep the
 broadcast intermediates (``Q x N x D`` float64) comfortably in cache;
 callers with huge query sets get identical results regardless of the
 blocking.
+
+**Heterogeneous parameters.**  ``k`` (for :func:`batch_knn`) and
+``radius`` (for :func:`batch_range`) accept either a scalar or a
+``(Q,)`` array-like with one value per query.  The network coalescer
+(:mod:`repro.net.coalesce`) relies on this: concurrent requests with
+different ``k``/``radius`` share one traversal, each query pruning
+against its own bound.  A scalar is exactly the old behavior.
 """
 
 from __future__ import annotations
@@ -68,7 +75,8 @@ def batch_knn(index, queries, k: int = 1, *,
         ``(Q, D)`` array-like of query points (a single point is
         promoted to one row).
     k:
-        Neighbors per query.
+        Neighbors per query — one int for every query, or a ``(Q,)``
+        array-like giving each query its own ``k``.
     block_size:
         Queries traversed together; purely a memory/locality knob.
 
@@ -79,22 +87,40 @@ def batch_knn(index, queries, k: int = 1, *,
         element-wise identical to ``index.nearest(queries[q], k)``.
     """
     queries = as_points(queries, index.dims)
-    if k < 1:
-        raise ValueError(f"k must be positive, got {k}")
+    ks = _per_query_ks(k, queries.shape[0])
     if index.size == 0:
         raise EmptyIndexError("cannot run a nearest-neighbor query on an empty index")
     if block_size < 1:
         raise ValueError(f"block_size must be positive, got {block_size}")
     results: list[list[Neighbor]] = []
-    with observed_query(index, "batch_knn", k):
+    with observed_query(index, "batch_knn", int(ks.max()) if ks.size else 0):
         for start in range(0, queries.shape[0], block_size):
-            results.extend(_knn_block(index, queries[start : start + block_size], k))
+            results.extend(
+                _knn_block(index, queries[start : start + block_size],
+                           ks[start : start + block_size])
+            )
     return results
 
 
-def _knn_block(index, queries: np.ndarray, k: int) -> list[list[Neighbor]]:
+def _per_query_ks(k, nq: int) -> np.ndarray:
+    """Normalize ``k`` (scalar or per-query array) to a ``(nq,)`` array."""
+    ks = np.asarray(k)
+    if ks.ndim == 0:
+        if int(ks) < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        return np.full(nq, int(ks), dtype=np.int64)
+    if ks.shape != (nq,):
+        raise ValueError(
+            f"per-query k must have shape ({nq},), got {ks.shape}")
+    ks = ks.astype(np.int64)
+    if ks.size and int(ks.min()) < 1:
+        raise ValueError(f"k must be positive, got {int(ks.min())}")
+    return ks
+
+
+def _knn_block(index, queries: np.ndarray, ks: np.ndarray) -> list[list[Neighbor]]:
     nq = queries.shape[0]
-    candidates = [KnnCandidates(k) for _ in range(nq)]
+    candidates = [KnnCandidates(int(ki)) for ki in ks]
     bounds = np.full(nq, np.inf)
     stats = index.stats
     span = trace.active
@@ -164,23 +190,41 @@ def batch_range(index, queries, radius: float, *,
     The batched analogue of :meth:`~repro.indexes.base.SpatialIndex.within`:
     one traversal per block, descending into a child for exactly the
     queries whose ball intersects its region (MINDIST ``<= radius``).
+
+    ``radius`` is one float for every query, or a ``(Q,)`` array-like
+    giving each query its own radius.
     """
     queries = as_points(queries, index.dims)
-    radius = float(radius)
-    if radius < 0:
-        raise ValueError(f"radius must be non-negative, got {radius}")
+    radii = _per_query_radii(radius, queries.shape[0])
     if block_size < 1:
         raise ValueError(f"block_size must be positive, got {block_size}")
     results: list[list[Neighbor]] = []
     with observed_query(index, "batch_range"):
         for start in range(0, queries.shape[0], block_size):
             results.extend(
-                _range_block(index, queries[start : start + block_size], radius)
+                _range_block(index, queries[start : start + block_size],
+                             radii[start : start + block_size])
             )
     return results
 
 
-def _range_block(index, queries: np.ndarray, radius: float) -> list[list[Neighbor]]:
+def _per_query_radii(radius, nq: int) -> np.ndarray:
+    """Normalize ``radius`` (scalar or per-query) to a ``(nq,)`` array."""
+    radii = np.asarray(radius, dtype=np.float64)
+    if radii.ndim == 0:
+        if float(radii) < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        return np.full(nq, float(radii))
+    if radii.shape != (nq,):
+        raise ValueError(
+            f"per-query radius must have shape ({nq},), got {radii.shape}")
+    if radii.size and float(radii.min()) < 0:
+        raise ValueError(
+            f"radius must be non-negative, got {float(radii.min())}")
+    return radii
+
+
+def _range_block(index, queries: np.ndarray, radii: np.ndarray) -> list[list[Neighbor]]:
     nq = queries.shape[0]
     hits: list[list[tuple[float, np.ndarray, object]]] = [[] for _ in range(nq)]
     stats = index.stats
@@ -200,7 +244,7 @@ def _range_block(index, queries: np.ndarray, radius: float) -> list[list[Neighbo
         stats.distance_computations += count * active.shape[0]
         values = node.values
         for row, qi in enumerate(active):
-            (close,) = np.nonzero(dmat[row] <= radius)
+            (close,) = np.nonzero(dmat[row] <= radii[qi])
             bucket = hits[qi]
             for i in close:
                 bucket.append((float(dmat[row, i]), pts[i].copy(), values[i]))
@@ -213,7 +257,7 @@ def _range_block(index, queries: np.ndarray, radius: float) -> list[list[Neighbo
         dmat = index.child_mindists_batch(node, queries[active])
         stats.distance_computations += node.count * active.shape[0]
         for i in range(node.count):
-            mask = dmat[:, i] <= radius
+            mask = dmat[:, i] <= radii[active]
             if not mask.any():
                 continue
             child_id = int(node.child_ids[i])

@@ -343,6 +343,12 @@ class ServingPool:
         from .batch import DEFAULT_BLOCK_SIZE, batch_knn
 
         queries = as_points(queries, self.dims)
+        per_query = np.ndim(k) > 0
+        ks = np.asarray(k, dtype=np.int64) if per_query else None
+        if per_query and ks.shape != (queries.shape[0],):
+            raise ValueError(
+                f"per-query k must have shape ({queries.shape[0]},), "
+                f"got {ks.shape}")
         if block_size is None:
             block_size = DEFAULT_BLOCK_SIZE
         times: list[tuple[float, int]] = []
@@ -352,17 +358,24 @@ class ServingPool:
             index = self._indexes[worker]
             out: list[list[Neighbor]] = []
             for start in range(0, len(shard), step):
-                block = shard[start : start + step]
+                idx = shard[start : start + step]
+                block = queries[idx]
+                block_k = ks[idx] if per_query else k
                 b0 = time.perf_counter()
                 if batched:
                     out.extend(
-                        batch_knn(index, block, k, block_size=block_size)
+                        batch_knn(index, block, block_k,
+                                  block_size=block_size)
                     )
                 else:
-                    out.extend(index.nearest(point, k=k) for point in block)
+                    out.extend(
+                        index.nearest(queries[qi],
+                                      k=int(ks[qi]) if per_query else k)
+                        for qi in idx
+                    )
                 seconds = time.perf_counter() - b0
                 on_pool_block("pool_knn", seconds, self._slo_ms)
-                times.append((seconds * 1e3, len(block)))
+                times.append((seconds * 1e3, len(idx)))
             return out
 
         out = self._scatter(queries, run, with_flags=with_flags,
@@ -384,18 +397,25 @@ class ServingPool:
 
         single = np.asarray(queries).ndim == 1
         queries = as_points(queries, self.dims)
+        per_query = np.ndim(radius) > 0
+        radii = np.asarray(radius, dtype=np.float64) if per_query else None
+        if per_query and radii.shape != (queries.shape[0],):
+            raise ValueError(
+                f"per-query radius must have shape ({queries.shape[0]},), "
+                f"got {radii.shape}")
         times: list[tuple[float, int]] = []
 
         def run(worker: int, shard: np.ndarray) -> list[list[Neighbor]]:
             index = self._indexes[worker]
             out: list[list[Neighbor]] = []
             for start in range(0, len(shard), DEFAULT_BLOCK_SIZE):
-                block = shard[start : start + DEFAULT_BLOCK_SIZE]
+                idx = shard[start : start + DEFAULT_BLOCK_SIZE]
+                block_r = radii[idx] if per_query else radius
                 b0 = time.perf_counter()
-                out.extend(batch_range(index, block, radius))
+                out.extend(batch_range(index, queries[idx], block_r))
                 seconds = time.perf_counter() - b0
                 on_pool_block("pool_range", seconds, self._slo_ms)
-                times.append((seconds * 1e3, len(block)))
+                times.append((seconds * 1e3, len(idx)))
             return out
 
         out = self._scatter(queries, run, with_flags=with_flags,
@@ -403,6 +423,19 @@ class ServingPool:
         if with_times:
             out = (*out, times) if with_flags else (out, times)
         return _unbatch(out, with_flags, with_times) if single else out
+
+    def range_batch(self, queries, radius, *, with_flags: bool = False,
+                    with_times: bool = False, timeout: float | None = None):
+        """Batched range query: one result list per query row.
+
+        The :class:`~repro.api.QuerySurface` batch entry point —
+        ``radius`` is a scalar shared by every query or a ``(Q,)``
+        array with one radius per query.  Equivalent to calling
+        :meth:`range` with a 2-D batch.
+        """
+        queries = as_points(queries, self.dims)
+        return self.range(queries, radius, with_flags=with_flags,
+                          with_times=with_times, timeout=timeout)
 
     def window(self, low, high, *, timeout: float | None = None
                ) -> list[Neighbor]:
@@ -533,10 +566,13 @@ class ServingPool:
             if shard.size == 0:
                 continue
             worker = available[pos]
+            # Closures receive the shard's *index* array and slice the
+            # query (and any per-query parameter) arrays themselves, so
+            # heterogeneous k/radius stay aligned with their queries.
             futures.append(
                 (worker, shard,
                  self._executor.submit(
-                     self._run_with_retries, run, worker, queries[shard]
+                     self._run_with_retries, run, worker, shard
                  ))
             )
         deadline = (None if timeout is None

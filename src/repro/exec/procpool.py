@@ -166,18 +166,30 @@ def _run_blocks(index, op: str, queries: np.ndarray, kwargs: dict,
         block_size = step = DEFAULT_BLOCK_SIZE
     for start in range(0, len(queries), step):
         block = queries[start : start + step]
+        # k / radius arrive as a scalar or a per-query array aligned
+        # with this worker's shard; arrays are sliced per block.
+        if op == "knn":
+            block_k = (k[start : start + step]
+                       if isinstance(k, np.ndarray) else k)
+        else:
+            block_r = (radius[start : start + step]
+                       if isinstance(radius, np.ndarray) else radius)
         b0 = time.perf_counter()
         for attempt in range(retries + 1):
             try:
                 if op == "knn":
                     if batched:
-                        chunk = batch_knn(index, block, k,
+                        chunk = batch_knn(index, block, block_k,
                                           block_size=block_size)
                     else:
-                        chunk = [index.nearest(point, k=k)
-                                 for point in block]
+                        chunk = []
+                        for pos, point in enumerate(block):
+                            ki = (int(block_k[pos])
+                                  if isinstance(block_k, np.ndarray)
+                                  else block_k)
+                            chunk.append(index.nearest(point, k=ki))
                 else:
-                    chunk = batch_range(index, block, radius)
+                    chunk = batch_range(index, block, block_r)
                 break
             except TransientIOError:
                 if attempt == retries:
@@ -524,10 +536,16 @@ class ProcessServingPool:
         results are byte-for-byte those of single-query search.
         """
         queries = as_points(queries, self.dims)
+        if np.ndim(k) > 0:
+            k = np.asarray(k, dtype=np.int64)
+            if k.shape != (queries.shape[0],):
+                raise ValueError(
+                    f"per-query k must have shape ({queries.shape[0]},), "
+                    f"got {k.shape}")
         results, complete, times = self._scatter(
             "knn", queries,
             {"k": k, "batched": batched, "block_size": block_size},
-            "pool_knn", timeout=timeout,
+            "pool_knn", timeout=timeout, per_query=("k",),
         )
         return self._package(results, complete, times, with_flags,
                              with_times)
@@ -538,13 +556,27 @@ class ProcessServingPool:
         shapes and flags behave as in :meth:`knn`."""
         single = np.asarray(queries).ndim == 1
         queries = as_points(queries, self.dims)
+        if np.ndim(radius) > 0:
+            radius = np.asarray(radius, dtype=np.float64)
+            if radius.shape != (queries.shape[0],):
+                raise ValueError(
+                    f"per-query radius must have shape "
+                    f"({queries.shape[0]},), got {radius.shape}")
         results, complete, times = self._scatter(
             "range", queries, {"radius": radius}, "pool_range",
-            timeout=timeout,
+            timeout=timeout, per_query=("radius",),
         )
         out = self._package(results, complete, times, with_flags,
                             with_times)
         return _unbatch(out, with_flags, with_times) if single else out
+
+    def range_batch(self, queries, radius, *, with_flags: bool = False,
+                    with_times: bool = False, timeout: float | None = None):
+        """Batched range query: one result list per query row; ``radius``
+        is a scalar or a ``(Q,)`` per-query array."""
+        queries = as_points(queries, self.dims)
+        return self.range(queries, radius, with_flags=with_flags,
+                          with_times=with_times, timeout=timeout)
 
     def window(self, low, high, *, timeout: float | None = None
                ) -> list[Neighbor]:
@@ -575,7 +607,7 @@ class ProcessServingPool:
 
     def _scatter(self, op: str, queries: np.ndarray, kwargs: dict,
                  slo_op: str, *, timeout: float | None = None,
-                 whole: bool = False):
+                 whole: bool = False, per_query: tuple = ()):
         if self._closed:
             raise RuntimeError("serving pool is closed")
         if timeout is None:
@@ -602,8 +634,16 @@ class ProcessServingPool:
             return results, complete, times
         sent: list[tuple[int, np.ndarray, str | None]] = []
         for idx, shard, payload in shards:
+            # Per-query parameter arrays (heterogeneous k/radius) are
+            # sliced to this shard so they stay aligned worker-side.
+            shard_kwargs = kwargs
+            for name in per_query:
+                if isinstance(kwargs.get(name), np.ndarray):
+                    if shard_kwargs is kwargs:
+                        shard_kwargs = dict(kwargs)
+                    shard_kwargs[name] = kwargs[name][shard]
             try:
-                self._conns[idx].send(("query", op, payload, kwargs))
+                self._conns[idx].send(("query", op, payload, shard_kwargs))
                 sent.append((idx, shard, None))
             except (BrokenPipeError, OSError):
                 sent.append((idx, shard, "worker_died"))

@@ -386,13 +386,15 @@ class SpatialIndex(ABC):
             f"unknown algorithm {algorithm!r}; use 'depth-first' or 'best-first'"
         )
 
-    def nearest_batch(self, points, k: int = 1) -> list[list[Neighbor]]:
+    def nearest_batch(self, points, k=1) -> list[list[Neighbor]]:
         """The ``k`` nearest neighbors of *each* query point, batched.
 
         Convenience wrapper over :func:`repro.exec.batch_knn`, which
         amortizes the tree traversal across the whole query block (one
         vectorised MINDIST pass per visited node instead of one scan per
-        query per node).  Results match :meth:`nearest` exactly.
+        query per node).  ``k`` is one int shared by every query or a
+        ``(Q,)`` array with one value per query.  Results match
+        :meth:`nearest` exactly.
         """
         from ..exec import batch_knn
 
@@ -406,6 +408,18 @@ class SpatialIndex(ABC):
             raise ValueError(f"radius must be non-negative, got {radius}")
         with observed_query(self, "range"):
             return range_search(self, as_point(point, self.dims), float(radius))
+
+    def within_batch(self, points, radius) -> list[list[Neighbor]]:
+        """The range query of *each* query point, batched.
+
+        Convenience wrapper over :func:`repro.exec.batch_range` — one
+        traversal per query block.  ``radius`` is a scalar shared by
+        every query or a ``(Q,)`` array with one radius per query.
+        Results match :meth:`within` exactly.
+        """
+        from ..exec import batch_range
+
+        return batch_range(self, points, radius)
 
     def window(self, low, high) -> list[Neighbor]:
         """All stored points inside the axis-aligned box ``[low, high]``."""

@@ -97,8 +97,8 @@ NEIGHBORS_CONTENT_TYPE = "application/x-repro-neighbors"
 
 #: Read endpoints, available on every served handle kind.
 READ_ENDPOINTS = (
-    "server", "knn", "knn_batch", "range", "window", "lookup", "stats",
-    "explain",
+    "server", "knn", "knn_batch", "range", "range_batch", "window",
+    "lookup", "stats", "explain",
 )
 #: Mutation endpoints; require an auth token and a mutable source.
 WRITE_ENDPOINTS = ("insert", "insert_many", "delete")

@@ -46,9 +46,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from ..exceptions import NetError, ReproError
+from ..geometry import as_point
 from ..obs.events import DEBUG, EVENTS, INFO, WARN
 from ..obs.hooks import on_net_inflight, on_net_request, on_net_shed
 from . import protocol
+from .coalesce import CoalescedDeadlineError, CoalescingScheduler
 
 __all__ = ["QueryServer"]
 
@@ -154,19 +156,38 @@ class QueryServer:
     drain_timeout_s:
         How long ``close()`` waits for in-flight requests before
         giving up and unbinding anyway.
+    batch_delay_ms, max_batch:
+        Dynamic micro-batching (:mod:`repro.net.coalesce`).  With
+        ``batch_delay_ms > 0``, admitted ``knn``/``range`` requests
+        coalesce into shared batched traversals: a group flushes when
+        it holds ``max_batch`` requests, when ``batch_delay_ms``
+        elapses, or sooner if the earliest member deadline would
+        otherwise expire.  ``batch_delay_ms=0`` (default) disables
+        coalescing entirely — dispatch is byte-identical to a server
+        without the feature.
     """
 
     def __init__(self, source, *, host: str = "127.0.0.1", port: int = 0,
                  max_inflight: int = 8, max_queue: int = 16,
                  queue_timeout_s: float = 2.0,
                  auth_token: str | None = None,
-                 drain_timeout_s: float = 30.0) -> None:
+                 drain_timeout_s: float = 30.0,
+                 batch_delay_ms: float = 0.0,
+                 max_batch: int = 32) -> None:
         self._source = source
         self._auth_token = auth_token
         self._drain_timeout_s = float(drain_timeout_s)
         self._admission = _Admission(max_inflight, max_queue, queue_timeout_s)
         # Serving pools take a per-call timeout=; plain handles do not.
         self._pooled = hasattr(source, "worker_stats")
+        if batch_delay_ms < 0:
+            raise ValueError(
+                f"batch_delay_ms must be >= 0, got {batch_delay_ms}")
+        self._coalescer = None
+        if batch_delay_ms > 0:
+            self._coalescer = CoalescingScheduler(
+                source, batch_delay_s=batch_delay_ms / 1e3,
+                max_batch=max_batch, pooled=self._pooled)
         self._closed = False
         self._close_lock = threading.Lock()
         self._shed = {"overload": 0, "deadline": 0, "draining": 0}
@@ -180,6 +201,21 @@ class QueryServer:
             # Identify the service, not the Python stdlib version.
             server_version = f"repro-query/{protocol.PROTOCOL_VERSION}"
             sys_version = ""
+            # Status line, headers, and body go out as separate writes;
+            # with Nagle on, the follow-up segments sit behind the
+            # peer's delayed ACK (~40 ms per response on loopback).
+            disable_nagle_algorithm = True
+            # Buffer the response side so status + headers + body leave
+            # as one segment (one syscall) per response instead of
+            # three; handle_one_request() flushes after each dispatch.
+            wbufsize = 64 * 1024
+
+            def send_response(self, code: int, message=None) -> None:
+                # Trim the stdlib's per-response Server/Date headers:
+                # both are optional, and at coalesced-batch rates their
+                # strftime + client-side parse are measurable.
+                self.log_request(code)
+                self.send_response_only(code, message)
 
             def do_GET(self) -> None:  # noqa: N802 (http.server API)
                 server._handle(self, body_allowed=False)
@@ -192,7 +228,13 @@ class QueryServer:
                     EVENTS.emit("query_server_log", level=DEBUG,
                                 message=fmt % args)
 
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        class _Server(ThreadingHTTPServer):
+            # The socketserver default backlog (5) resets connections
+            # when a fleet of clients connects at once; admission
+            # control, not the listen queue, is our concurrency bound.
+            request_queue_size = 128
+
+        self._httpd = _Server((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -203,7 +245,9 @@ class QueryServer:
         EVENTS.emit("query_server_started", level=INFO,
                     host=self.address[0], port=self.address[1],
                     max_inflight=max_inflight, max_queue=max_queue,
-                    mutations=auth_token is not None)
+                    mutations=auth_token is not None,
+                    batch_delay_ms=batch_delay_ms,
+                    max_batch=max_batch if self._coalescer else None)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -227,7 +271,7 @@ class QueryServer:
         with self._stats_lock:
             shed = dict(self._shed)
             served = self._served
-        return {
+        doc = {
             "address": f"{self.address[0]}:{self.address[1]}",
             "inflight": adm.inflight,
             "queued": adm.queued,
@@ -238,6 +282,9 @@ class QueryServer:
             "draining": adm.draining,
             "closed": self._closed,
         }
+        if self._coalescer is not None:
+            doc["batching"] = self._coalescer.describe()
+        return doc
 
     def close(self) -> None:
         """Graceful drain: stop accepting, finish in-flight, unbind.
@@ -253,6 +300,10 @@ class QueryServer:
                     inflight=self._admission.inflight,
                     queued=self._admission.queued)
         self._admission.start_drain()
+        if self._coalescer is not None:
+            # Flush every half-full batch now: its members hold
+            # admission slots and must finish before wait_idle.
+            self._coalescer.drain()
         # Stop the accept loop first so no new connections race the wait.
         self._httpd.shutdown()
         drained = self._admission.wait_idle(self._drain_timeout_s)
@@ -371,8 +422,9 @@ class QueryServer:
             handler.close_connection = True
 
     def _shed_response(self, handler: BaseHTTPRequestHandler,
-                       reason: str) -> int:
-        self._discard_body(handler)
+                       reason: str, *, discard: bool = True) -> int:
+        if discard:
+            self._discard_body(handler)
         status = {"overload": 429, "deadline": 504, "draining": 503}[reason]
         with self._stats_lock:
             self._shed[reason] += 1
@@ -414,6 +466,24 @@ class QueryServer:
         handler.end_headers()
         handler.wfile.write(body)
 
+    def _send_neighbors(self, handler: BaseHTTPRequestHandler,
+                        neighbors: list) -> None:
+        """One query's result list, binary when the client accepts it.
+
+        Clients advertising ``Accept:`` :data:`NEIGHBORS_CONTENT_TYPE`
+        get the compact neighbor-block frame — float repr dominates the
+        JSON encode cost of a k=21 result, and at coalesced-batch rates
+        that per-response cost is what bounds server throughput.
+        """
+        accept = handler.headers.get("Accept", "")
+        if protocol.NEIGHBORS_CONTENT_TYPE in accept:
+            self._send_binary(handler, 200,
+                              protocol.encode_neighbor_block([neighbors]),
+                              protocol.NEIGHBORS_CONTENT_TYPE)
+        else:
+            self._send_json(handler, 200,
+                            {"neighbors": protocol.neighbors_to_doc(neighbors)})
+
     @staticmethod
     def _read_body(handler: BaseHTTPRequestHandler) -> bytes:
         length = int(handler.headers.get("Content-Length", 0))
@@ -443,6 +513,12 @@ class QueryServer:
         try:
             return self._execute(handler, endpoint, body, content_type,
                                  deadline)
+        except CoalescedDeadlineError:
+            # The request's deadline expired while it waited in a
+            # micro-batch; it was never executed.  Same 504 + shed
+            # accounting as a pre-dispatch deadline shed — but the
+            # body was already consumed, so nothing to discard.
+            return self._shed_response(handler, "deadline", discard=False)
         except NotImplementedError as exc:
             return self._send_error(handler, 405, exc)
         except _CLIENT_ERRORS as exc:
@@ -510,22 +586,50 @@ class QueryServer:
         if endpoint == "knn":
             point = _required(doc, "point")
             k = int(doc.get("k", 1))
-            kwargs = dict(pool_kw)
-            if "algorithm" in doc:
-                kwargs["algorithm"] = doc["algorithm"]
             _reject_unknown(doc, {"point", "k", "algorithm"})
-            neighbors = source.knn(point, k=k, **kwargs)
-            self._send_json(handler, 200,
-                            {"neighbors": protocol.neighbors_to_doc(neighbors)})
+            if self._coalescer is not None and "algorithm" not in doc:
+                # Validate before enqueueing so a malformed request
+                # fails alone instead of poisoning its batchmates.
+                if k < 1:
+                    raise ValueError(f"k must be positive, got {k}")
+                point = as_point(point, getattr(source, "dims", None))
+                neighbors = self._coalescer.submit("knn", point, k, deadline)
+            else:
+                kwargs = dict(pool_kw)
+                if "algorithm" in doc:
+                    kwargs["algorithm"] = doc["algorithm"]
+                neighbors = source.knn(point, k=k, **kwargs)
+            self._send_neighbors(handler, neighbors)
             return 200
 
         if endpoint == "range":
             point = _required(doc, "point")
             radius = float(_required(doc, "radius"))
             _reject_unknown(doc, {"point", "radius"})
-            neighbors = source.range(point, radius, **pool_kw)
-            self._send_json(handler, 200,
-                            {"neighbors": protocol.neighbors_to_doc(neighbors)})
+            if self._coalescer is not None:
+                if radius < 0:
+                    raise ValueError(
+                        f"radius must be non-negative, got {radius}")
+                point = as_point(point, getattr(source, "dims", None))
+                neighbors = self._coalescer.submit("range", point, radius,
+                                                   deadline)
+            else:
+                neighbors = source.range(point, radius, **pool_kw)
+            self._send_neighbors(handler, neighbors)
+            return 200
+
+        if endpoint == "range_batch":
+            points = np.asarray(_required(doc, "points"), dtype=np.float64)
+            radius = _required(doc, "radius")
+            if isinstance(radius, (list, tuple)):
+                radius = np.asarray(radius, dtype=np.float64)
+            else:
+                radius = float(radius)
+            _reject_unknown(doc, {"points", "radius"})
+            results = source.range_batch(points, radius, **pool_kw)
+            self._send_json(handler, 200, {
+                "results": [protocol.neighbors_to_doc(r) for r in results],
+            })
             return 200
 
         if endpoint == "window":
@@ -577,10 +681,14 @@ class QueryServer:
                 values = doc.get("values")
                 _reject_unknown(doc, {"points", "values"})
             if values is None:
-                source.insert_many(points)
+                inserted = source.insert_many(points)
             else:
-                source.insert_many(points, values)
-            self._send_json(handler, 200, {"ok": True, "size": source.size})
+                inserted = source.insert_many(points, values)
+            if inserted is None:  # non-conforming source; fall back
+                inserted = len(points)
+            self._send_json(handler, 200, {
+                "ok": True, "inserted": int(inserted), "size": source.size,
+            })
             return 200
 
         if endpoint == "delete":
@@ -606,11 +714,21 @@ class QueryServer:
                        content_type: str):
         if content_type == protocol.BINARY_CONTENT_TYPE:
             points, _ = protocol.decode_matrix(body)
-            k = int(handler.headers.get(protocol.K_HEADER, 1))
+            raw = handler.headers.get(protocol.K_HEADER, "1")
+            # A comma-separated header carries per-query k values.
+            if "," in raw:
+                k = np.asarray([int(part) for part in raw.split(",")],
+                               dtype=np.int64)
+            else:
+                k = int(raw)
             return points, k
         doc = self._json_doc(body)
         points = _required(doc, "points")
-        k = int(doc.get("k", 1))
+        k = doc.get("k", 1)
+        if isinstance(k, (list, tuple)):
+            k = np.asarray(k, dtype=np.int64)
+        else:
+            k = int(k)
         _reject_unknown(doc, {"points", "k"})
         return np.asarray(points, dtype=np.float64), k
 
@@ -628,7 +746,7 @@ class QueryServer:
 
     def _descriptor(self) -> dict:
         source = self._source
-        return {
+        doc = {
             "protocol": protocol.PROTOCOL_VERSION,
             "kind": getattr(source, "kind", None),
             "dims": getattr(source, "dims", None),
@@ -640,6 +758,9 @@ class QueryServer:
             "max_queue": self._admission.max_queue,
             "draining": self._admission.draining,
         }
+        if self._coalescer is not None:
+            doc["batching"] = self._coalescer.describe()
+        return doc
 
     def _stats_doc(self) -> dict:
         stats = self._source.stats()

@@ -60,6 +60,7 @@ __all__ = [
     "on_net_request",
     "on_net_shed",
     "on_net_inflight",
+    "on_net_batch_flush",
 ]
 
 _enabled = os.environ.get("REPRO_OBS_METRICS", "1") != "0"
@@ -281,6 +282,27 @@ NET_INFLIGHT = REGISTRY.gauge(
     "repro_net_inflight_requests",
     "Query-server requests currently executing (admitted, not finished)",
     (),
+)
+NET_COALESCED = REGISTRY.counter(
+    "repro_net_coalesced_total",
+    "Requests answered from a micro-batch shared with at least one "
+    "other request (the coalescing scheduler's win counter)",
+    ("op",),
+)
+NET_BATCH_SIZE = REGISTRY.histogram(
+    "repro_net_batch_size",
+    "Requests executed per micro-batch flush (after deadline sheds); "
+    "a distribution stuck at 1 means the delay window is too short "
+    "for the arrival rate",
+    ("op",),
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+)
+NET_BATCH_DELAY_SECONDS = REGISTRY.histogram(
+    "repro_net_batch_delay_seconds",
+    "Time a micro-batch spent open before flushing (first enqueue to "
+    "flush) — the latency each coalesced request paid to be batched",
+    ("op",),
+    buckets=DEFAULT_TIME_BUCKETS,
 )
 
 
@@ -695,3 +717,20 @@ def on_net_inflight(n: int) -> None:
     if not _enabled:
         return
     NET_INFLIGHT.set(n)
+
+
+def on_net_batch_flush(op: str, size: int, queue_delay_s: float,
+                       coalesced_requests: int) -> None:
+    """Record one micro-batch flush by the coalescing scheduler.
+
+    ``size`` is the number of requests executed in the flush (deadline
+    sheds excluded), ``queue_delay_s`` how long the batch was open, and
+    ``coalesced_requests`` how many of those requests shared the
+    traversal with at least one other (0 for a solo flush).
+    """
+    if not _enabled:
+        return
+    NET_BATCH_SIZE.labels(op=op).observe(size)
+    NET_BATCH_DELAY_SECONDS.labels(op=op).observe(queue_delay_s)
+    if coalesced_requests:
+        NET_COALESCED.labels(op=op).inc(coalesced_requests)

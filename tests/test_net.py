@@ -356,7 +356,10 @@ def test_token_gates_mutations_not_reads(tmp_path):
                 assert rdb.insert(np.full(4, 0.25), value="probe") == 17
                 assert rdb.lookup(np.full(4, 0.25)) == ["probe"]
                 batch = np.random.default_rng(8).random((5, 4))
-                assert rdb.insert_many(batch) == 22
+                # insert_many returns the *inserted count*, matching
+                # Database.insert_many (the size is 22 afterwards).
+                assert rdb.insert_many(batch) == 5
+                assert rdb.size == 22
                 assert rdb.delete(np.full(4, 0.25), value="probe") == 21
 
 
@@ -386,12 +389,13 @@ def test_keep_alive_reuses_one_connection(corpus):
     with QueryServer(corpus.db) as server:
         with RemoteDatabase.connect(_addr(server)) as rdb:
             rdb.knn(corpus.data[0], k=1)
-            conn = rdb._conn
-            assert conn is not None
+            pool = rdb._pool
+            assert pool.created == 1
             for i in range(5):
                 rdb.knn(corpus.data[i], k=1)
-            # Same HTTP/1.1 connection served all six queries.
-            assert rdb._conn is conn
+            # Sequential calls reuse one pooled HTTP/1.1 connection;
+            # the pool never had to open a second.
+            assert pool.created == 1
         assert server.describe()["served"] >= 7  # descriptor + 6 queries
 
 

@@ -148,6 +148,35 @@ def test_knn_batch_matches_reference(corpus, handle):
         assert_neighbors_equal(g_list, w_list)
 
 
+def test_knn_batch_per_query_k_matches_reference(corpus, handle):
+    # The coalescer's product: one batch, a different k per query row.
+    ks = np.asarray([1 + (i % 5) for i in range(len(corpus.queries))],
+                    dtype=np.int64)
+    want = corpus.db.knn_batch(corpus.queries, k=ks)
+    got = handle.knn_batch(corpus.queries, k=ks)
+    assert len(got) == len(want)
+    for ki, g_list, w_list in zip(ks, got, want):
+        assert len(g_list) == ki
+        assert_neighbors_equal(g_list, w_list)
+
+
+def test_range_batch_matches_reference(corpus, handle):
+    want = corpus.db.range_batch(corpus.queries, 0.35)
+    got = handle.range_batch(corpus.queries, 0.35)
+    assert len(got) == len(want)
+    for g_list, w_list in zip(got, want):
+        assert_neighbors_equal(g_list, w_list)
+
+
+def test_range_batch_per_query_radius_matches_reference(corpus, handle):
+    radii = np.linspace(0.1, 0.6, len(corpus.queries))
+    want = corpus.db.range_batch(corpus.queries, radii)
+    got = handle.range_batch(corpus.queries, radii)
+    assert len(got) == len(want)
+    for g_list, w_list in zip(got, want):
+        assert_neighbors_equal(g_list, w_list)
+
+
 def test_range_matches_reference(corpus, handle):
     for q in corpus.queries[:4]:
         want = corpus.db.range(q, 0.35)
@@ -170,6 +199,39 @@ def test_lookup_matches_reference(corpus, handle):
     assert sorted(handle.lookup(probe)) == sorted(want)
     miss = np.full(corpus.data.shape[1], -123.0)
     assert handle.lookup(miss) == []
+
+
+def test_insert_many_returns_inserted_count(corpus, handle, tmp_path):
+    """``insert_many`` returns the *inserted count* on every handle.
+
+    Mutable handle kinds (``Database``, ``RemoteDatabase``) must agree
+    on the contract; read handles (snapshots, pools) must not expose
+    the mutation at all — asserted here so the conformance matrix
+    covers all five kinds.
+    """
+    if not hasattr(handle, "insert_many"):
+        assert not isinstance(handle, (Database, RemoteDatabase))
+        return
+    dims = corpus.data.shape[1]
+    batch = np.random.default_rng(99).random((7, dims))
+    if isinstance(handle, RemoteDatabase):
+        path = str(tmp_path / "mut.srtree")
+        with Database.create(path, kind="sr", dims=dims) as db:
+            db.insert_many(corpus.data)
+        with Database.open(path) as db:
+            with QueryServer(db, auth_token="t") as server:
+                with RemoteDatabase.connect("%s:%d" % server.address,
+                                            token="t") as rdb:
+                    before = rdb.size
+                    assert rdb.insert_many(batch) == 7
+                    assert rdb.size == before + 7
+    else:
+        path = str(tmp_path / "mut.srtree")
+        with Database.create(path, kind="sr", dims=dims) as db:
+            before = db.insert_many(corpus.data)
+            assert before == corpus.data.shape[0]
+            assert db.insert_many(batch) == 7
+            assert db.size == before + 7
 
 
 def test_unknown_kwargs_rejected_everywhere(corpus, handle):

@@ -13,7 +13,11 @@ Two layers of checking, both dependency-free beyond the library itself:
    documents measured with >= 2 cores (``cpu_count``), the parallel
    mode must also be at least as fast as the batched single-worker
    mode — a parallel pool that *loses* to one worker (the GIL-bound
-   thread backend's signature) is a regression, not a feature.
+   thread backend's signature) is a regression, not a feature.  The
+   same multi-core rule gates dynamic batching: when the document
+   carries both remote modes, ``remote_coalesced`` must be at least as
+   fast as the serial ``remote`` baseline — coalescing that loses to
+   per-request dispatch means the batch engine regressed.
 
 2. **Regression pass** (skipped with ``--schema-only``): rebuild a
    dataset and index with the same spec as the committed document
@@ -21,8 +25,8 @@ Two layers of checking, both dependency-free beyond the library itself:
    benchmark, and require ``fresh_qps >= tolerance * committed_qps``
    for every shared mode.  Modes whose numbers depend on something
    other than the index — ``mixed`` (a background writer's scheduling)
-   and ``remote`` (loopback RTT plus the query server's admission
-   queue) — pass the schema check but are excluded from the
+   and the remote modes (loopback RTT plus the query server's
+   admission queue) — pass the schema check but are excluded from the
    re-measurement gate.  The default tolerance (0.35) is generous on
    purpose: CI machines are noisy and shared, and the gate is meant to
    catch order-of-magnitude regressions (an accidentally quadratic
@@ -76,6 +80,7 @@ def check_schema(doc: dict) -> list[str]:
     if not modes:
         problems.append("document has no modes")
     problems.extend(check_scaling(doc))
+    problems.extend(check_coalescing(doc))
     for mode, res in sorted(modes.items()):
         for field in MODE_FIELDS:
             if field not in res:
@@ -150,6 +155,36 @@ def check_scaling(doc: dict) -> list[str]:
     return []
 
 
+def check_coalescing(doc: dict) -> list[str]:
+    """Dynamic batching must not lose to serial remote dispatch.
+
+    With concurrent clients, the coalescing scheduler turns N in-flight
+    point queries into one batched traversal — it should match or beat
+    per-request dispatch wherever the batch engine does.  Like the
+    parallel-vs-batched gate this only applies on >= 2 cores: a 1-core
+    runner interleaves the client threads and the server arbitrarily,
+    so the comparison is dominated by scheduler noise.
+    """
+    modes = doc.get("modes", {})
+    coalesced = modes.get("remote_coalesced")
+    serial = modes.get("remote")
+    if coalesced is None or serial is None:
+        return []
+    if int(doc.get("cpu_count", 1)) < 2:
+        return []
+    c_qps = coalesced.get("qps", 0)
+    s_qps = serial.get("qps", 0)
+    if c_qps < s_qps:
+        return [
+            f"remote_coalesced ({coalesced.get('workers')} clients) "
+            f"serves {c_qps:.1f} qps — slower than serial remote "
+            f"dispatch at {s_qps:.1f} qps on a {doc.get('cpu_count')}-"
+            f"core machine; coalescing must not lose to per-request "
+            f"dispatch"
+        ]
+    return []
+
+
 def run_regression(doc: dict, tolerance: float,
                    queries_override: int | None) -> list[str]:
     from repro.api import Database
@@ -169,7 +204,7 @@ def run_regression(doc: dict, tolerance: float,
     # on a background writer's scheduling and "remote" on loopback RTT
     # and server admission, so both are excluded from the gate.
     modes = tuple(m for m in doc.get("modes", {})
-                  if m not in ("mixed", "remote"))
+                  if m not in ("mixed", "remote", "remote_coalesced"))
     if not modes:
         return ["no regression-checkable modes in document"]
 
